@@ -1,0 +1,189 @@
+// Command amacsim runs one consensus execution in the abstract MAC layer
+// simulator and reports the outcome: which algorithm, on which topology,
+// under which scheduler.
+//
+// Examples:
+//
+//	amacsim -algo twophase -topo clique -n 16 -sched random -fack 8
+//	amacsim -algo wpaxos -topo grid -rows 5 -cols 5 -sched maxdelay -fack 4
+//	amacsim -algo floodpaxos -topo starlines -arms 8 -armlen 3 -sched sync
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/absmac/absmac/internal/amac"
+	"github.com/absmac/absmac/internal/baseline/floodpaxos"
+	"github.com/absmac/absmac/internal/baseline/gatherall"
+	"github.com/absmac/absmac/internal/consensus"
+	"github.com/absmac/absmac/internal/core/twophase"
+	"github.com/absmac/absmac/internal/core/wpaxos"
+	"github.com/absmac/absmac/internal/ext/benor"
+	"github.com/absmac/absmac/internal/graph"
+	"github.com/absmac/absmac/internal/sim"
+	"github.com/absmac/absmac/internal/trace"
+)
+
+func main() {
+	algo := flag.String("algo", "wpaxos", "algorithm: twophase | wpaxos | floodpaxos | gatherall | benor")
+	topo := flag.String("topo", "line", "topology: clique | line | ring | star | grid | tree | starlines | random")
+	n := flag.Int("n", 8, "node count (clique/line/ring/star/random)")
+	rows := flag.Int("rows", 4, "grid rows")
+	cols := flag.Int("cols", 4, "grid cols")
+	branch := flag.Int("branch", 2, "tree branching factor")
+	depth := flag.Int("depth", 3, "tree depth")
+	arms := flag.Int("arms", 4, "star-of-lines arms")
+	armLen := flag.Int("armlen", 2, "star-of-lines arm length")
+	p := flag.Float64("p", 0.1, "random graph edge probability")
+	sched := flag.String("sched", "random", "scheduler: sync | random | maxdelay | edgeorder")
+	fack := flag.Int64("fack", 4, "scheduler delivery bound Fack")
+	seed := flag.Int64("seed", 1, "random seed (scheduler and random topology)")
+	inputs := flag.String("inputs", "alternating", "inputs: alternating | zeros | ones | half")
+	verbose := flag.Bool("v", false, "print the full event trace")
+	flag.Parse()
+
+	g, err := buildGraph(*topo, *n, *rows, *cols, *branch, *depth, *arms, *armLen, *p, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amacsim:", err)
+		os.Exit(2)
+	}
+	ins, err := buildInputs(*inputs, g.N())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amacsim:", err)
+		os.Exit(2)
+	}
+	factory, err := buildFactory(*algo, g.N(), *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amacsim:", err)
+		os.Exit(2)
+	}
+	scheduler, err := buildScheduler(*sched, *fack, *seed, g)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amacsim:", err)
+		os.Exit(2)
+	}
+
+	cfg := sim.Config{
+		Graph:           g,
+		Inputs:          ins,
+		Factory:         factory,
+		Scheduler:       scheduler,
+		StopWhenDecided: true,
+		Audit:           true,
+	}
+	var rec *trace.Recorder
+	if *verbose {
+		rec = trace.New(0)
+		cfg.Observer = rec.Observer()
+	}
+	res := sim.Run(cfg)
+	rep := consensus.Check(ins, res)
+	if rec != nil {
+		if err := rec.Dump(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "amacsim:", err)
+		}
+		fmt.Println("trace summary:", rec.Summary())
+	}
+
+	fmt.Printf("algorithm   %s\n", *algo)
+	fmt.Printf("topology    %s (n=%d, m=%d, diameter=%d)\n", *topo, g.N(), g.M(), g.Diameter())
+	fmt.Printf("scheduler   %s (Fack=%d, seed=%d)\n", *sched, *fack, *seed)
+	fmt.Printf("decided     %v\n", res.AllDecided())
+	if rep.SomeoneDecided {
+		fmt.Printf("value       %d\n", rep.Value)
+	}
+	fmt.Printf("decide time %d (%.2f x Fack, %.2f x D*Fack)\n", res.MaxDecideTime,
+		float64(res.MaxDecideTime)/float64(*fack),
+		float64(res.MaxDecideTime)/float64(*fack*int64(g.Diameter()+1)))
+	fmt.Printf("traffic     %d broadcasts, %d deliveries, %d discards\n", res.Broadcasts, res.Deliveries, res.Discards)
+	fmt.Printf("agreement   %v\nvalidity    %v\ntermination %v\n", rep.Agreement, rep.Validity, rep.Termination)
+	if len(rep.Errors) > 0 {
+		fmt.Printf("errors      %v\n", rep.Errors)
+		os.Exit(1)
+	}
+}
+
+func buildGraph(topo string, n, rows, cols, branch, depth, arms, armLen int, p float64, seed int64) (*graph.Graph, error) {
+	switch topo {
+	case "clique":
+		return graph.Clique(n), nil
+	case "line":
+		return graph.Line(n), nil
+	case "ring":
+		return graph.Ring(n), nil
+	case "star":
+		return graph.Star(n), nil
+	case "grid":
+		return graph.Grid(rows, cols), nil
+	case "tree":
+		return graph.BalancedTree(branch, depth), nil
+	case "starlines":
+		return graph.StarOfLines(arms, armLen), nil
+	case "random":
+		return graph.RandomConnected(n, p, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", topo)
+	}
+}
+
+func buildInputs(kind string, n int) ([]amac.Value, error) {
+	ins := make([]amac.Value, n)
+	switch kind {
+	case "alternating":
+		for i := range ins {
+			ins[i] = amac.Value(i % 2)
+		}
+	case "zeros":
+	case "ones":
+		for i := range ins {
+			ins[i] = 1
+		}
+	case "half":
+		for i := n / 2; i < n; i++ {
+			ins[i] = 1
+		}
+	default:
+		return nil, fmt.Errorf("unknown input pattern %q", kind)
+	}
+	return ins, nil
+}
+
+func buildFactory(algo string, n int, seed int64) (amac.Factory, error) {
+	switch algo {
+	case "twophase":
+		return twophase.Factory, nil
+	case "wpaxos":
+		return wpaxos.NewFactory(wpaxos.Config{N: n}), nil
+	case "floodpaxos":
+		return floodpaxos.NewFactory(n), nil
+	case "gatherall":
+		return gatherall.NewFactory(n), nil
+	case "benor":
+		return benor.NewFactory(benor.Config{N: n, F: (n - 1) / 2, Seed: seed}), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+func buildScheduler(kind string, fack, seed int64, g *graph.Graph) (sim.Scheduler, error) {
+	switch kind {
+	case "sync":
+		return sim.Synchronous{Round: fack}, nil
+	case "random":
+		return sim.NewRandom(fack, seed), nil
+	case "maxdelay":
+		return sim.MaxDelay{F: fack}, nil
+	case "edgeorder":
+		maxDeg := 0
+		for u := 0; u < g.N(); u++ {
+			if d := g.Degree(u); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		return sim.EdgeOrder{MaxDegree: maxDeg}, nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", kind)
+	}
+}

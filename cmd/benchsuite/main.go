@@ -1,0 +1,54 @@
+// Command benchsuite regenerates every experiment table in EXPERIMENTS.md:
+// one experiment per theorem/figure/complexity claim of the paper (see
+// DESIGN.md's experiment index).
+//
+// Usage:
+//
+//	benchsuite [-only E6] [-q]
+//
+// Exit status is non-zero when any experiment fails its shape check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/absmac/absmac/internal/exp"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment by id (e.g. E6)")
+	quiet := flag.Bool("q", false, "print only the summary line per experiment")
+	flag.Parse()
+
+	experiments := exp.All()
+	failed := 0
+	ran := 0
+	for _, e := range experiments {
+		if *only != "" && e.ID != *only {
+			continue
+		}
+		ran++
+		if *quiet {
+			status := "PASS"
+			if !e.OK {
+				status = "FAIL"
+			}
+			fmt.Printf("%-4s %-4s %s\n", e.ID, status, e.Title)
+		} else {
+			fmt.Println(e.Render())
+		}
+		if !e.OK {
+			failed++
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "benchsuite: no experiment matches -only=%s\n", *only)
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchsuite: %d experiment(s) failed their shape checks\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,15 @@
+// Package absmac is a from-scratch Go reproduction of "Consensus with an
+// Abstract MAC Layer" (Calvin Newport, PODC 2014, arXiv:1405.1382).
+//
+// The repository implements the paper's model (acknowledged local
+// broadcast under an adversarial scheduler with unknown delivery bound
+// Fack), both of its algorithms (two-phase consensus for single-hop
+// networks, wPAXOS for multihop networks), the baselines its analysis
+// argues against, and executable versions of all four lower-bound
+// constructions. See README.md for a tour, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for the paper-vs-measured record.
+//
+// The root package carries no code — the library lives under internal/
+// (this is a research artifact: the stable entry points are the example
+// programs, the cmd/ tools, and the benchmarks in bench_test.go).
+package absmac

@@ -1,0 +1,47 @@
+// Partition: watch the Figure 2 lower-bound construction (Theorem 3.9)
+// split a network. An algorithm with unique ids and a correct diameter
+// bound — but no knowledge of the network size — runs on K_D while the
+// adversarial scheduler silences the hub. Each line of K_D is then
+// indistinguishable from a standalone line, so the 0-line decides 0 and
+// the 1-line decides 1: a split-brain. Give the algorithm n (gatherall)
+// and the construction loses its power.
+//
+// Run with:
+//
+//	go run ./examples/partition
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/absmac/absmac/internal/lowerbound"
+)
+
+func main() {
+	const d = 6
+	res, err := lowerbound.RunSizeImpossibility(d)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "partition:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("K_%d: two lines of %d nodes plus a %d-node tail, all wired to one hub (%d nodes total)\n",
+		d, d+1, d-1, res.KD.G.N())
+	fmt.Printf("round budget from the (known) diameter bound: %d\n\n", res.Rounds)
+
+	fmt.Println("1. Control: the n-oblivious gatherer on a standalone line, synchronous scheduler.")
+	fmt.Printf("   consensus OK: %v  (this is Lemma 3.8: the algorithm is fine when the network IS a line)\n\n", res.ControlLineOK)
+
+	fmt.Println("2. The construction: same algorithm on K_D, hub silenced by the scheduler.")
+	fmt.Printf("   split-brain: %v — the all-zeros line decided %d, the all-ones line decided %d\n",
+		res.ViolationInKD, res.L1Decision, res.L2Decision)
+	fmt.Println("   (each line cannot tell K_D from the standalone line of Lemma 3.8: Theorem 3.9)")
+	fmt.Println()
+
+	fmt.Println("3. Control: gatherall, which knows n, on the same K_D under the same scheduler.")
+	fmt.Printf("   consensus OK: %v  (knowing n, it simply waits out the silence)\n", res.ControlWithNOK)
+
+	if !res.ViolationInKD || !res.ControlLineOK || !res.ControlWithNOK {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,116 @@
+// Package amac defines the abstract MAC layer model contract from
+// "Consensus with an Abstract MAC Layer" (Newport, PODC 2014).
+//
+// The model: nodes communicate over an undirected topology graph with a
+// local reliable broadcast primitive. A broadcast(m) eventually delivers m
+// to every neighbor of the sender, after which the sender receives an
+// acknowledgment. All nondeterminism is captured by a message scheduler
+// that chooses delivery and acknowledgment times, subject to a finite bound
+// Fack (unknown to the nodes) on the broadcast-to-ack delay. Local
+// computation takes zero time.
+//
+// Algorithms are written as deterministic state machines against the
+// Algorithm interface and run unmodified on any substrate that implements
+// the contract: the discrete-event simulator (internal/sim), the FLP
+// valid-step explorer (internal/lowerbound), and the goroutine runtime
+// (internal/live).
+package amac
+
+import "fmt"
+
+// NodeID identifies a node. IDs are unique and comparable. Anonymous
+// algorithms (studied in Section 3.2 of the paper) simply never read them.
+type NodeID int64
+
+// NoID is the zero NodeID used where an id is absent (for example in
+// anonymous executions or unset parent pointers).
+const NoID NodeID = -1
+
+// Value is a consensus input/decision value. The paper studies binary
+// consensus, so values are 0 or 1 throughout, but the type does not
+// restrict this: the harness validates inputs per problem instance.
+type Value int
+
+// Message is the unit of communication. Implementations must be immutable
+// after broadcast: the same value is delivered to every neighbor.
+//
+// The model restricts messages to carry at most a constant number of node
+// ids (Section 2 of the paper). IDCount reports how many ids a message
+// carries so substrates can audit the bound.
+type Message interface {
+	IDCount() int
+}
+
+// API is the interface a substrate hands to an algorithm at Start time.
+// It is valid for the lifetime of the execution and must only be used from
+// within the algorithm's event handlers (substrates serialize all handler
+// invocations for a given node).
+type API interface {
+	// ID returns this node's unique id. Anonymous algorithms must not
+	// call it; the anonymity auditor in internal/consensus verifies this.
+	ID() NodeID
+
+	// Broadcast hands m to the MAC layer. It reports false when a
+	// broadcast is already in flight (the model discards extra messages
+	// sent before the current ack arrives). It never blocks.
+	Broadcast(m Message) bool
+
+	// Decide performs the node's single irrevocable decide action.
+	// Further calls are recorded by the substrate as violations.
+	Decide(v Value)
+
+	// Now returns the current timestamp. Timestamps are totally ordered
+	// and consistent across nodes (virtual time on the simulator, a
+	// shared monotonic counter on the live runtime). The paper's change
+	// service (Figure 3, Algorithm 3) requires such timestamps.
+	Now() int64
+}
+
+// Algorithm is a deterministic per-node state machine. The substrate calls
+// Start exactly once before any other handler, then OnReceive for every
+// message delivered to this node and OnAck when the node's in-flight
+// broadcast completes. Handlers run serially per node and must not retain
+// the API beyond the execution.
+type Algorithm interface {
+	Start(api API)
+	OnReceive(m Message)
+	OnAck(m Message)
+}
+
+// Decider is implemented by algorithms that expose whether they have
+// decided and what they decided; the harness uses it for reporting beyond
+// the substrate's own decision records.
+type Decider interface {
+	Decided() (Value, bool)
+}
+
+// NodeConfig carries the per-node instantiation parameters a Factory
+// receives. Knowledge assumptions (n, diameter bounds, ...) deliberately do
+// not appear here: algorithms that assume them take them as constructor
+// arguments, which makes every knowledge assumption explicit at the call
+// site, mirroring the paper's lower-bound taxonomy.
+type NodeConfig struct {
+	// ID is the node's unique id as assigned by the harness.
+	ID NodeID
+	// Input is the node's consensus initial value.
+	Input Value
+}
+
+// Factory builds one node's algorithm instance. A Factory is invoked once
+// per node before the execution starts.
+type Factory func(cfg NodeConfig) Algorithm
+
+// MaxMessageIDs is the constant bound on ids per message this repository's
+// algorithms adhere to (the model requires only that some constant exists;
+// wPAXOS's multiplexed broadcast carries up to nine — one per service
+// message plus routing and proposal-number ids). The simulator audits
+// broadcasts against this bound when auditing is on.
+const MaxMessageIDs = 9
+
+// AuditIDCount returns an error when m reports more than MaxMessageIDs ids.
+func AuditIDCount(m Message) error {
+	if c := m.IDCount(); c > MaxMessageIDs {
+		return fmt.Errorf("amac: message %T carries %d ids, exceeding the model bound %d", m, c, MaxMessageIDs)
+	}
+	return nil
+}

@@ -1,0 +1,433 @@
+// Package floodpaxos implements the strawman the paper argues against in
+// Section 4.2: PAXOS logic whose acceptor responses are flooded
+// individually instead of aggregated along proposer-rooted trees.
+//
+// Every acceptor's response to a proposition is a separate message carrying
+// that acceptor's id, and every node re-floods every distinct response it
+// sees. Messages hold O(1) ids, so a node can forward only one response
+// per broadcast: near bottlenecks the backlog is Theta(n) messages and the
+// proposer needs Theta(n*Fack) time to count a majority — versus wPAXOS's
+// O(D*Fack) aggregation. Experiment E7 measures the contrast.
+//
+// Like wPAXOS it assumes unique ids and knowledge of n, elects the maximum
+// id by flooding, and restarts proposals on change notifications (here
+// triggered by leader-estimate updates only; there are no trees to
+// stabilize).
+package floodpaxos
+
+import (
+	"fmt"
+
+	"github.com/absmac/absmac/internal/amac"
+	"github.com/absmac/absmac/internal/core/wpaxos"
+)
+
+// LeaderMsg floods the maximum id (as in wPAXOS's leader election).
+type LeaderMsg struct {
+	ID amac.NodeID
+}
+
+// ChangeMsg is the change notification.
+type ChangeMsg struct {
+	T  int64
+	ID amac.NodeID
+}
+
+// ProposerMsg floods a prepare or propose.
+type ProposerMsg struct {
+	Kind wpaxos.PropKind
+	Num  wpaxos.ProposalNum
+	Val  amac.Value
+}
+
+// Proposition returns the proposition this message belongs to.
+func (m ProposerMsg) Proposition() wpaxos.Proposition {
+	return wpaxos.Proposition{Kind: m.Kind, Num: m.Num}
+}
+
+// ResponseMsg is one acceptor's (un-aggregated) response, flooded through
+// the whole network until it reaches the proposer.
+type ResponseMsg struct {
+	Prop      wpaxos.Proposition
+	Acceptor  amac.NodeID
+	Positive  bool
+	Prev      *wpaxos.Proposal
+	Committed wpaxos.ProposalNum
+}
+
+// DecideMsg floods the decision.
+type DecideMsg struct {
+	Val amac.Value
+}
+
+// Combined multiplexes one message per queue into a single broadcast.
+type Combined struct {
+	Leader   *LeaderMsg
+	Change   *ChangeMsg
+	Proposer *ProposerMsg
+	Response *ResponseMsg
+	Decide   *DecideMsg
+}
+
+// IDCount implements amac.Message.
+func (m Combined) IDCount() int {
+	c := 0
+	if m.Leader != nil {
+		c++
+	}
+	if m.Change != nil {
+		c++
+	}
+	if m.Proposer != nil {
+		c++
+	}
+	if m.Response != nil {
+		c += 2
+		if m.Response.Prev != nil {
+			c++
+		}
+		if !m.Response.Committed.IsZero() {
+			c++
+		}
+	}
+	return c
+}
+
+// respKey dedups response floods.
+type respKey struct {
+	prop     wpaxos.Proposition
+	acceptor amac.NodeID
+}
+
+// Node is the per-node state machine.
+type Node struct {
+	api   amac.API
+	id    amac.NodeID
+	n     int
+	input amac.Value
+
+	omega      amac.NodeID
+	leaderQ    *LeaderMsg
+	lastChange int64
+	changeQ    *ChangeMsg
+
+	propQ        *ProposerMsg
+	seenProps    map[wpaxos.Proposition]bool
+	maxLeaderNum wpaxos.ProposalNum
+
+	respQ    []ResponseMsg
+	seenResp map[respKey]bool
+
+	promised wpaxos.ProposalNum
+	accepted *wpaxos.Proposal
+
+	phase      int // 0 idle, 1 preparing, 2 proposing
+	num        wpaxos.ProposalNum
+	maxTagSeen int64
+	triesLeft  int
+	acks       map[amac.NodeID]bool
+	nacks      map[amac.NodeID]bool
+	bestPrev   *wpaxos.Proposal
+	value      amac.Value
+
+	decideQ  *DecideMsg
+	inflight bool
+	decided  bool
+	decision amac.Value
+}
+
+// New returns a flood-paxos node knowing the network size n.
+func New(input amac.Value, n int) *Node {
+	if n < 1 {
+		panic(fmt.Sprintf("floodpaxos: invalid network size %d", n))
+	}
+	if input != 0 && input != 1 {
+		panic(fmt.Sprintf("floodpaxos: input %d is not binary", input))
+	}
+	return &Node{
+		n:         n,
+		input:     input,
+		seenProps: make(map[wpaxos.Proposition]bool),
+		seenResp:  make(map[respKey]bool),
+	}
+}
+
+// NewFactory returns a factory for networks of the given size.
+func NewFactory(n int) amac.Factory {
+	return func(cfg amac.NodeConfig) amac.Algorithm { return New(cfg.Input, n) }
+}
+
+// Start implements amac.Algorithm.
+func (a *Node) Start(api amac.API) {
+	a.api = api
+	a.id = api.ID()
+	a.omega = a.id
+	a.leaderQ = &LeaderMsg{ID: a.id}
+	a.lastChange = -1
+	if a.n == 1 {
+		a.decide(a.input)
+		return
+	}
+	a.pump()
+}
+
+// OnReceive implements amac.Algorithm.
+func (a *Node) OnReceive(m amac.Message) {
+	c, ok := m.(Combined)
+	if !ok {
+		panic(fmt.Sprintf("floodpaxos: unexpected message type %T", m))
+	}
+	if c.Leader != nil && c.Leader.ID > a.omega {
+		a.omega = c.Leader.ID
+		a.leaderQ = &LeaderMsg{ID: a.omega}
+		if a.propQ != nil && a.propQ.Num.ID != a.omega {
+			a.propQ = nil
+		}
+		a.maxLeaderNum = wpaxos.ProposalNum{}
+		a.respQ = a.respQ[:0]
+		// A leader update is the change event.
+		a.lastChange = a.api.Now()
+		a.changeQ = &ChangeMsg{T: a.lastChange, ID: a.id}
+		if a.omega == a.id {
+			a.generateProposal()
+		}
+	}
+	if c.Change != nil && c.Change.T > a.lastChange {
+		a.lastChange = c.Change.T
+		a.changeQ = &ChangeMsg{T: c.Change.T, ID: c.Change.ID}
+		if a.omega == a.id {
+			a.generateProposal()
+		}
+	}
+	if c.Proposer != nil {
+		a.onProposer(*c.Proposer)
+	}
+	if c.Response != nil {
+		a.onResponse(*c.Response)
+	}
+	if c.Decide != nil && !a.decided {
+		a.decide(c.Decide.Val)
+		a.decideQ = &DecideMsg{Val: c.Decide.Val}
+	}
+	a.pump()
+}
+
+// OnAck implements amac.Algorithm.
+func (a *Node) OnAck(amac.Message) {
+	a.inflight = false
+	a.pump()
+}
+
+func (a *Node) pump() {
+	if a.inflight {
+		return
+	}
+	var c Combined
+	any := false
+	if a.decideQ != nil {
+		c.Decide, a.decideQ = a.decideQ, nil
+		any = true
+	}
+	if !a.decided {
+		if a.leaderQ != nil {
+			c.Leader, a.leaderQ = a.leaderQ, nil
+			any = true
+		}
+		if a.changeQ != nil {
+			c.Change, a.changeQ = a.changeQ, nil
+			any = true
+		}
+		if a.propQ != nil {
+			c.Proposer, a.propQ = a.propQ, nil
+			any = true
+		}
+		if len(a.respQ) > 0 {
+			r := a.respQ[0]
+			a.respQ = a.respQ[1:]
+			c.Response = &r
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	a.inflight = true
+	a.api.Broadcast(c)
+}
+
+func (a *Node) onProposer(m ProposerMsg) {
+	if a.maxTagSeen < m.Num.Tag {
+		a.maxTagSeen = m.Num.Tag
+	}
+	key := m.Proposition()
+	if a.seenProps[key] {
+		return
+	}
+	a.seenProps[key] = true
+	if m.Num.ID != a.omega {
+		return
+	}
+	a.noteLeaderNum(m.Num)
+	if a.propQ == nil || a.propQ.Num.Less(m.Num) ||
+		(a.propQ.Num == m.Num && a.propQ.Kind == wpaxos.Prepare && m.Kind == wpaxos.Propose) {
+		a.propQ = &m
+	}
+	a.respond(m)
+}
+
+func (a *Node) noteLeaderNum(num wpaxos.ProposalNum) {
+	if a.maxLeaderNum.Less(num) {
+		a.maxLeaderNum = num
+		kept := a.respQ[:0]
+		for _, r := range a.respQ {
+			if !r.Prop.Num.Less(num) {
+				kept = append(kept, r)
+			}
+		}
+		a.respQ = kept
+	}
+}
+
+// respond runs the acceptor and emits one individual response.
+func (a *Node) respond(m ProposerMsg) {
+	r := ResponseMsg{Prop: m.Proposition(), Acceptor: a.id}
+	switch m.Kind {
+	case wpaxos.Prepare:
+		if a.promised.Less(m.Num) {
+			a.promised = m.Num
+			r.Positive = true
+			r.Prev = a.accepted
+		} else {
+			r.Committed = a.promised
+		}
+	case wpaxos.Propose:
+		if !m.Num.Less(a.promised) {
+			a.promised = m.Num
+			a.accepted = &wpaxos.Proposal{Num: m.Num, Val: m.Val}
+			r.Positive = true
+		} else {
+			r.Committed = a.promised
+		}
+	}
+	a.routeResponse(r)
+}
+
+// routeResponse floods a response (or consumes it when this node is the
+// proposer).
+func (a *Node) routeResponse(r ResponseMsg) {
+	if r.Prop.Num.ID == a.id {
+		a.consume(r)
+		return
+	}
+	if r.Prop.Num.ID != a.omega || r.Prop.Num.Less(a.maxLeaderNum) {
+		return
+	}
+	a.respQ = append(a.respQ, r)
+}
+
+func (a *Node) onResponse(r ResponseMsg) {
+	if a.maxTagSeen < r.Committed.Tag {
+		a.maxTagSeen = r.Committed.Tag
+	}
+	key := respKey{prop: r.Prop, acceptor: r.Acceptor}
+	if a.seenResp[key] {
+		return
+	}
+	a.seenResp[key] = true
+	a.routeResponse(r)
+}
+
+func (a *Node) generateProposal() {
+	if a.decided {
+		return
+	}
+	a.triesLeft = 2
+	a.startProposal()
+}
+
+func (a *Node) startProposal() {
+	a.triesLeft--
+	a.maxTagSeen++
+	a.num = wpaxos.ProposalNum{Tag: a.maxTagSeen, ID: a.id}
+	a.phase = 1
+	a.acks = make(map[amac.NodeID]bool, a.n)
+	a.nacks = make(map[amac.NodeID]bool, a.n)
+	a.bestPrev = nil
+	m := ProposerMsg{Kind: wpaxos.Prepare, Num: a.num}
+	a.seenProps[m.Proposition()] = true
+	a.noteLeaderNum(a.num)
+	a.propQ = &m
+	a.respond(m)
+}
+
+// consume is the proposer counting individual responses.
+func (a *Node) consume(r ResponseMsg) {
+	if a.decided || r.Prop.Num != a.num {
+		return
+	}
+	wantKind := wpaxos.Prepare
+	if a.phase == 2 {
+		wantKind = wpaxos.Propose
+	}
+	if a.phase == 0 || r.Prop.Kind != wantKind {
+		return
+	}
+	if r.Positive {
+		a.acks[r.Acceptor] = true
+		if a.phase == 1 {
+			if r.Prev != nil && (a.bestPrev == nil || a.bestPrev.Num.Less(r.Prev.Num)) {
+				a.bestPrev = r.Prev
+			}
+			if 2*len(a.acks) > a.n {
+				a.beginPropose()
+			}
+		} else if 2*len(a.acks) > a.n {
+			a.decide(a.value)
+			a.decideQ = &DecideMsg{Val: a.value}
+		}
+		return
+	}
+	a.nacks[r.Acceptor] = true
+	if 2*len(a.nacks) > a.n {
+		a.retry()
+	}
+}
+
+func (a *Node) beginPropose() {
+	a.phase = 2
+	a.acks = make(map[amac.NodeID]bool, a.n)
+	a.nacks = make(map[amac.NodeID]bool, a.n)
+	if a.bestPrev != nil {
+		a.value = a.bestPrev.Val
+	} else {
+		a.value = a.input
+	}
+	m := ProposerMsg{Kind: wpaxos.Propose, Num: a.num, Val: a.value}
+	a.seenProps[m.Proposition()] = true
+	a.propQ = &m
+	a.respond(m)
+}
+
+func (a *Node) retry() {
+	if a.omega != a.id || a.triesLeft <= 0 {
+		a.phase = 0
+		a.num = wpaxos.ProposalNum{}
+		return
+	}
+	a.startProposal()
+}
+
+func (a *Node) decide(v amac.Value) {
+	a.decided = true
+	a.decision = v
+	a.api.Decide(v)
+}
+
+// Decided implements amac.Decider.
+func (a *Node) Decided() (amac.Value, bool) { return a.decision, a.decided }
+
+var (
+	_ amac.Algorithm = (*Node)(nil)
+	_ amac.Decider   = (*Node)(nil)
+	_ amac.Message   = Combined{}
+)

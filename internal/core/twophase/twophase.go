@@ -1,0 +1,211 @@
+// Package twophase implements Algorithm 1 of the paper: two-phase
+// consensus for single-hop (clique) topologies in the abstract MAC layer
+// model.
+//
+// The algorithm decides in O(Fack) time (two broadcast/ack cycles plus the
+// witness wait, Theorem 4.1), assumes unique ids, and — notably — needs no
+// knowledge of the network size or the participant set, which separates
+// the abstract MAC layer model from the asynchronous broadcast model of
+// Abboud et al., where consensus is impossible under those assumptions.
+//
+// Operation (for node u with initial value v):
+//
+//	Phase 1: broadcast <phase1, id_u, v>; gather messages until the ack.
+//	  If evidence of a different initial value arrived by then (a phase-1
+//	  message with 1-v or a bivalent phase-2 message), set status to
+//	  bivalent, otherwise to decided(v).
+//	Phase 2: broadcast <phase2, id_u, status>; gather messages until the
+//	  ack. A decided node then decides its own value and terminates. A
+//	  bivalent node forms the witness set W of every id heard so far and
+//	  waits until a phase-2 message from every witness has arrived; it
+//	  then decides 0 when any decided(0) status was seen, else 1.
+//
+// One deliberate deviation from the paper's listing: line 23 of Algorithm 1
+// scans only R2 (messages recorded during phase 2) for decided(0)
+// statuses, but the agreement argument in the proof of Theorem 4.1
+// requires a bivalent node to notice a decided(0) status wherever it was
+// recorded — a decided node's phase-2 message can legitimately arrive
+// while a slow bivalent node is still in phase 1, landing in R1. We
+// therefore scan R1 ∪ R2 (i.e. every message seen), which is what the
+// proof's case analysis actually uses.
+package twophase
+
+import (
+	"fmt"
+
+	"github.com/absmac/absmac/internal/amac"
+)
+
+// Phase1 is the first-phase message <phase 1, id, v>.
+type Phase1 struct {
+	From amac.NodeID
+	V    amac.Value
+}
+
+// IDCount implements amac.Message.
+func (Phase1) IDCount() int { return 1 }
+
+// Phase2 is the second-phase message <phase 2, id, status>, where status is
+// either bivalent (Decided=false) or decided(V) (Decided=true).
+type Phase2 struct {
+	From    amac.NodeID
+	Decided bool
+	V       amac.Value
+}
+
+// IDCount implements amac.Message.
+func (Phase2) IDCount() int { return 1 }
+
+// phase tracks the node's progress through the algorithm.
+type phase int
+
+const (
+	phaseOne     phase = iota + 1 // awaiting phase-1 ack
+	phaseTwo                      // awaiting phase-2 ack
+	phaseWitness                  // bivalent: awaiting witness phase-2 messages
+	phaseDone
+)
+
+// TwoPhase is the per-node state machine. Create instances with New.
+type TwoPhase struct {
+	api   amac.API
+	input amac.Value
+
+	phase         phase
+	statusDecided bool // status chosen at the phase-1 ack
+
+	// sawOtherValue records phase-1 evidence of the value 1-input;
+	// sawBivalent records any bivalent phase-2 message. Both are only
+	// consulted at the phase-1 ack, matching R1 in the listing.
+	sawOtherValue bool
+	sawBivalent   bool
+
+	// heard is the set of ids seen in any message (the senders behind
+	// R1 and R2); witnesses is its frozen copy W at the phase-2 ack.
+	heard     map[amac.NodeID]bool
+	witnesses map[amac.NodeID]bool
+
+	// phase2From records which ids have delivered a phase-2 message;
+	// sawDecidedZero records whether any decided(0) status was seen.
+	phase2From     map[amac.NodeID]bool
+	sawDecidedZero bool
+
+	decided  bool
+	decision amac.Value
+}
+
+// New returns a two-phase consensus instance for the given binary input.
+func New(input amac.Value) *TwoPhase {
+	if input != 0 && input != 1 {
+		panic(fmt.Sprintf("twophase: input %d is not binary", input))
+	}
+	return &TwoPhase{
+		input:      input,
+		heard:      make(map[amac.NodeID]bool),
+		phase2From: make(map[amac.NodeID]bool),
+	}
+}
+
+// Factory adapts New to the amac.Factory shape.
+func Factory(cfg amac.NodeConfig) amac.Algorithm { return New(cfg.Input) }
+
+// Start implements amac.Algorithm.
+func (a *TwoPhase) Start(api amac.API) {
+	a.api = api
+	a.phase = phaseOne
+	a.heard[api.ID()] = true // R1 starts with u's own phase-1 message
+	api.Broadcast(Phase1{From: api.ID(), V: a.input})
+}
+
+// OnReceive implements amac.Algorithm.
+func (a *TwoPhase) OnReceive(m amac.Message) {
+	switch msg := m.(type) {
+	case Phase1:
+		a.heard[msg.From] = true
+		if msg.V != a.input {
+			a.sawOtherValue = true
+		}
+	case Phase2:
+		a.heard[msg.From] = true
+		a.phase2From[msg.From] = true
+		if !msg.Decided {
+			a.sawBivalent = true
+		} else if msg.V == 0 {
+			a.sawDecidedZero = true
+		}
+	default:
+		panic(fmt.Sprintf("twophase: unexpected message type %T", m))
+	}
+	if a.phase == phaseWitness {
+		a.maybeDecide()
+	}
+}
+
+// OnAck implements amac.Algorithm.
+func (a *TwoPhase) OnAck(m amac.Message) {
+	switch a.phase {
+	case phaseOne:
+		// Choose the status from the evidence in R1 (listing line 8).
+		a.statusDecided = !a.sawOtherValue && !a.sawBivalent
+		a.phase = phaseTwo
+		own := Phase2{From: a.api.ID(), Decided: a.statusDecided, V: a.input}
+		// R2 starts with u's own phase-2 message (listing line 15).
+		a.phase2From[own.From] = true
+		if own.Decided && own.V == 0 {
+			a.sawDecidedZero = true
+		}
+		a.api.Broadcast(own)
+	case phaseTwo:
+		if a.statusDecided {
+			// A decided node decides its own value right after its
+			// phase-2 broadcast completes.
+			a.phase = phaseDone
+			a.decide(a.input)
+			return
+		}
+		// Freeze the witness set W: every id heard so far.
+		a.witnesses = make(map[amac.NodeID]bool, len(a.heard))
+		for id := range a.heard {
+			a.witnesses[id] = true
+		}
+		a.phase = phaseWitness
+		a.maybeDecide()
+	default:
+		panic(fmt.Sprintf("twophase: unexpected ack in phase %d", a.phase))
+	}
+}
+
+// maybeDecide completes the bivalent branch once every witness has
+// delivered a phase-2 message.
+func (a *TwoPhase) maybeDecide() {
+	for id := range a.witnesses {
+		if !a.phase2From[id] {
+			return
+		}
+	}
+	a.phase = phaseDone
+	if a.sawDecidedZero {
+		a.decide(0)
+		return
+	}
+	a.decide(1)
+}
+
+func (a *TwoPhase) decide(v amac.Value) {
+	if a.decided {
+		return
+	}
+	a.decided = true
+	a.decision = v
+	a.api.Decide(v)
+}
+
+// Decided implements amac.Decider.
+func (a *TwoPhase) Decided() (amac.Value, bool) { return a.decision, a.decided }
+
+var (
+	_ amac.Algorithm = (*TwoPhase)(nil)
+	_ amac.Decider   = (*TwoPhase)(nil)
+	_ amac.Message   = Phase1{}
+	_ amac.Message   = Phase2{}
+)

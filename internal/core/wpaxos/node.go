@@ -1,0 +1,553 @@
+package wpaxos
+
+import (
+	"fmt"
+
+	"github.com/absmac/absmac/internal/amac"
+)
+
+// Config carries a node's knowledge assumptions and instrumentation.
+type Config struct {
+	// N is the network size, which wPAXOS assumes known (required by the
+	// Section 3.3 lower bound). Majorities are computed against it.
+	N int
+	// Audit optionally instruments the Lemma 4.2 counting invariant.
+	Audit *CountAudit
+	// NoTreePriority disables the tree queue's leader-first pinning
+	// (Algorithm 4's UpdateQ optimization). Ablation only: Lemma 4.5's
+	// fast stabilization argument relies on the priority; correctness
+	// does not. Experiment E11's ablation row measures the difference.
+	NoTreePriority bool
+}
+
+// NewFactory returns an amac.Factory producing wPAXOS nodes that share the
+// given configuration.
+func NewFactory(cfg Config) amac.Factory {
+	if cfg.N < 1 {
+		panic(fmt.Sprintf("wpaxos: invalid network size %d", cfg.N))
+	}
+	return func(nc amac.NodeConfig) amac.Algorithm {
+		return New(nc.Input, cfg)
+	}
+}
+
+// Node is one wPAXOS participant: the four support services, the PAXOS
+// proposer and acceptor roles, and the decide flood.
+type Node struct {
+	api   amac.API
+	id    amac.NodeID
+	n     int
+	input amac.Value
+	audit *CountAudit
+	noPri bool
+
+	leader leaderService
+	change changeService
+	tree   treeService
+	prop   proposerState
+	acc    acceptorState
+
+	// propQ is the proposer flood queue. Its invariant (Section 4.2.1):
+	// at most one message — from the current leader, with the largest
+	// proposal number seen from that leader (a propose supersedes the
+	// prepare of the same number).
+	propQ *ProposerMsg
+	// seenProps dedups the proposer flood ("rebroadcast on first sight")
+	// and doubles as the acceptor's responded-once guard.
+	seenProps map[Proposition]bool
+	// maxLeaderNum is the largest proposal number seen from the current
+	// leader; the response queue is pruned against it.
+	maxLeaderNum ProposalNum
+	// respQ is the acceptor response queue: aggregated responses keyed
+	// by (proposition, polarity), awaiting a known parent to relay to.
+	respQ []*ResponseMsg
+
+	decideQ  *DecideMsg
+	inflight bool
+	decided  bool
+	decision amac.Value
+
+	// maxTagUsed tracks the largest tag this node proposed with
+	// (experiment E8 / Lemma 4.4).
+	maxTagUsed int64
+	// lastLeaderUpdate and lastLeaderDistUpdate record stabilization
+	// times for the GST decomposition of experiment E6.
+	lastLeaderUpdate, lastLeaderDistUpdate int64
+}
+
+// New returns a wPAXOS node for the given binary input. The paper studies
+// binary consensus (which strengthens its lower bounds); use NewGeneral
+// for arbitrary value sets.
+func New(input amac.Value, cfg Config) *Node {
+	if input != 0 && input != 1 {
+		panic(fmt.Sprintf("wpaxos: input %d is not binary", input))
+	}
+	return NewGeneral(input, cfg)
+}
+
+// NewGeneral returns a wPAXOS node for an arbitrary input value. The
+// binary restriction in the paper exists to strengthen its lower bounds,
+// not because the algorithm needs it: a PAXOS value rides along in
+// propose messages and previous-proposal reports unchanged, still within
+// the O(1)-ids message bound. (The paper's open problem about general
+// values concerns solutions built from binary consensus bit by bit; wPAXOS
+// sidesteps it because the value never needs to be decomposed.)
+func NewGeneral(input amac.Value, cfg Config) *Node {
+	if cfg.N < 1 {
+		panic(fmt.Sprintf("wpaxos: invalid network size %d", cfg.N))
+	}
+	return &Node{
+		n:         cfg.N,
+		input:     input,
+		audit:     cfg.Audit,
+		noPri:     cfg.NoTreePriority,
+		seenProps: make(map[Proposition]bool),
+	}
+}
+
+// NewGeneralFactory returns a factory of NewGeneral nodes.
+func NewGeneralFactory(cfg Config) amac.Factory {
+	if cfg.N < 1 {
+		panic(fmt.Sprintf("wpaxos: invalid network size %d", cfg.N))
+	}
+	return func(nc amac.NodeConfig) amac.Algorithm {
+		return NewGeneral(nc.Input, cfg)
+	}
+}
+
+// Start implements amac.Algorithm.
+func (nd *Node) Start(api amac.API) {
+	nd.api = api
+	nd.id = api.ID()
+	nd.leader.init(nd.id)
+	nd.change.init()
+	nd.tree.init(nd.id)
+	if nd.n == 1 {
+		// A singleton network has no peers to talk to; decide directly
+		// (validity is trivial). The services would otherwise idle
+		// forever since no change events can occur.
+		nd.decide(nd.input)
+		return
+	}
+	nd.pump()
+}
+
+// OnReceive implements amac.Algorithm.
+func (nd *Node) OnReceive(m amac.Message) {
+	c, ok := m.(Combined)
+	if !ok {
+		panic(fmt.Sprintf("wpaxos: unexpected message type %T", m))
+	}
+	if c.Leader != nil {
+		nd.onLeader(*c.Leader)
+	}
+	if c.Search != nil {
+		nd.onSearch(*c.Search)
+	}
+	if c.Change != nil {
+		nd.onChange(*c.Change)
+	}
+	if c.Proposer != nil {
+		nd.onProposer(*c.Proposer)
+	}
+	if c.Response != nil {
+		nd.onResponse(*c.Response)
+	}
+	if c.Decide != nil {
+		nd.onDecide(*c.Decide)
+	}
+	nd.pump()
+}
+
+// OnAck implements amac.Algorithm.
+func (nd *Node) OnAck(amac.Message) {
+	nd.inflight = false
+	nd.pump()
+}
+
+// pump is the broadcast service (Algorithm 5): combine one message from
+// each non-empty queue into a single broadcast. After the node decides,
+// only the decide flood remains relevant; the other services go quiet so
+// the execution quiesces.
+func (nd *Node) pump() {
+	if nd.inflight {
+		return
+	}
+	var c Combined
+	any := false
+	if nd.decideQ != nil {
+		c.Decide, nd.decideQ = nd.decideQ, nil
+		any = true
+	}
+	if !nd.decided {
+		if m := nd.leader.pop(); m != nil {
+			c.Leader = m
+			any = true
+		}
+		if m := nd.change.pop(); m != nil {
+			c.Change = m
+			any = true
+		}
+		if m := nd.tree.pop(); m != nil {
+			c.Search = m
+			any = true
+		}
+		if nd.propQ != nil {
+			c.Proposer, nd.propQ = nd.propQ, nil
+			any = true
+		}
+		if r := nd.popResp(); r != nil {
+			c.Response = r
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	nd.inflight = true
+	nd.api.Broadcast(c)
+}
+
+// popResp removes the first relayable response (one whose next hop toward
+// the proposer is known) and stamps its destination at send time.
+func (nd *Node) popResp() *ResponseMsg {
+	for i, r := range nd.respQ {
+		parent := nd.tree.parentTo(r.Prop.Num.ID)
+		if parent == amac.NoID {
+			continue
+		}
+		r.Dest = parent
+		nd.respQ = append(nd.respQ[:i], nd.respQ[i+1:]...)
+		return r
+	}
+	return nil
+}
+
+// ---- Service message handlers ----
+
+func (nd *Node) onLeader(m LeaderMsg) {
+	if !nd.leader.receive(m) {
+		return
+	}
+	nd.lastLeaderUpdate = nd.api.Now()
+	// OnLeaderChange (Algorithm 4): re-pin the tree queue.
+	if !nd.noPri {
+		nd.tree.prioritize(nd.leader.omega)
+	}
+	// The proposer and response queues only ever hold material for the
+	// current leader (Section 4.2.1 queue invariants).
+	if nd.propQ != nil && nd.propQ.Num.ID != nd.leader.omega {
+		nd.propQ = nil
+	}
+	nd.maxLeaderNum = ProposalNum{}
+	nd.respQ = nd.respQ[:0]
+	// A leader update is a change event (Algorithm 3).
+	nd.localChange()
+}
+
+func (nd *Node) onSearch(m SearchMsg) {
+	pin := nd.leader.omega
+	if nd.noPri {
+		pin = amac.NoID
+	}
+	if !nd.tree.receive(m, pin) {
+		return
+	}
+	// Only improvements of the distance to the *current leader* are
+	// change events; see the package comment for why this reading of
+	// Algorithm 3's "Omega_u or dist_u updated" is the one that yields
+	// the paper's O(D*Fack) global stabilization time.
+	if m.Root == nd.leader.omega {
+		nd.lastLeaderDistUpdate = nd.api.Now()
+		nd.localChange()
+	}
+}
+
+func (nd *Node) localChange() {
+	nd.change.onChange(nd.api.Now(), nd.id)
+	if nd.leader.omega == nd.id {
+		nd.generateProposal()
+	}
+}
+
+func (nd *Node) onChange(m ChangeMsg) {
+	if !nd.change.receive(m) {
+		return
+	}
+	if nd.leader.omega == nd.id {
+		nd.generateProposal()
+	}
+}
+
+func (nd *Node) onDecide(m DecideMsg) {
+	if nd.decided {
+		return
+	}
+	nd.decide(m.Val)
+	nd.decideQ = &DecideMsg{Val: m.Val} // flood onward
+}
+
+func (nd *Node) decide(v amac.Value) {
+	nd.decided = true
+	nd.decision = v
+	nd.api.Decide(v)
+}
+
+// ---- Proposer flood and acceptor role ----
+
+func (nd *Node) onProposer(m ProposerMsg) {
+	if nd.prop.maxTagSeen < m.Num.Tag {
+		nd.prop.maxTagSeen = m.Num.Tag
+	}
+	key := m.Proposition()
+	if nd.seenProps[key] {
+		return // flood dedup: relay and respond only on first sight
+	}
+	nd.seenProps[key] = true
+	if m.Num.ID != nd.leader.omega {
+		// Queue invariant (1): only material from the current leader
+		// propagates. Dropping a proposition is indistinguishable from
+		// message loss, which PAXOS tolerates.
+		return
+	}
+	nd.noteLeaderNum(m.Num)
+	nd.enqueueProp(m)
+	nd.respond(m)
+}
+
+// noteLeaderNum updates the largest proposal number seen from the current
+// leader and prunes the response queue accordingly (queue invariant (2)).
+func (nd *Node) noteLeaderNum(num ProposalNum) {
+	if nd.maxLeaderNum.Less(num) {
+		nd.maxLeaderNum = num
+		kept := nd.respQ[:0]
+		for _, r := range nd.respQ {
+			if !r.Prop.Num.Less(num) {
+				kept = append(kept, r)
+			}
+		}
+		nd.respQ = kept
+	}
+}
+
+// enqueueProp installs a proposer message in the flood queue, displacing
+// anything older (larger number wins; a propose supersedes the prepare of
+// the same number).
+func (nd *Node) enqueueProp(m ProposerMsg) {
+	cur := nd.propQ
+	if cur == nil || cur.Num.Less(m.Num) || (cur.Num == m.Num && cur.Kind == Prepare && m.Kind == Propose) {
+		nd.propQ = &m
+	}
+}
+
+// respond runs the acceptor against a proposition and routes the response
+// toward the proposer.
+func (nd *Node) respond(m ProposerMsg) {
+	var r ResponseMsg
+	r.Prop = m.Proposition()
+	switch m.Kind {
+	case Prepare:
+		r.Positive, r.Prev, r.Committed = nd.acc.handlePrepare(m.Num)
+	case Propose:
+		r.Positive, r.Committed = nd.acc.handlePropose(m.Num, m.Val)
+	default:
+		panic(fmt.Sprintf("wpaxos: unknown proposer message kind %v", m.Kind))
+	}
+	r.Count = 1
+	if r.Positive {
+		nd.audit.addGenerated(r.Prop)
+	}
+	if m.Num.ID == nd.id {
+		// The proposer's own acceptor responds directly.
+		nd.consumeResponse(r)
+		return
+	}
+	nd.enqueueResp(r)
+}
+
+// enqueueResp aggregates a response into the relay queue (Section 4.2.1):
+// same proposition and polarity merge into one message whose count is the
+// sum, keeping only the highest-numbered previous proposal and the largest
+// committed number.
+func (nd *Node) enqueueResp(r ResponseMsg) {
+	if r.Prop.Num.ID != nd.leader.omega {
+		return // queue invariant (1)
+	}
+	if r.Prop.Num.Less(nd.maxLeaderNum) {
+		return // queue invariant (2): stale proposition
+	}
+	nd.noteLeaderNum(r.Prop.Num)
+	for _, q := range nd.respQ {
+		if q.Prop == r.Prop && q.Positive == r.Positive {
+			q.Count += r.Count
+			q.Prev = maxPrev(q.Prev, r.Prev)
+			q.Committed = q.Committed.Max(r.Committed)
+			return
+		}
+	}
+	cp := r
+	nd.respQ = append(nd.respQ, &cp)
+}
+
+// onResponse handles an incoming response: consume it when this node is
+// the addressee and the proposer, relay it (re-aggregated) when this node
+// is the addressee but not the proposer, ignore it otherwise.
+func (nd *Node) onResponse(r ResponseMsg) {
+	if nd.prop.maxTagSeen < r.Committed.Tag {
+		nd.prop.maxTagSeen = r.Committed.Tag
+	}
+	if r.Prev != nil && nd.prop.maxTagSeen < r.Prev.Num.Tag {
+		nd.prop.maxTagSeen = r.Prev.Num.Tag
+	}
+	if r.Dest != nd.id {
+		return // unicast-over-broadcast: not addressed to us
+	}
+	if r.Prop.Num.ID == nd.id {
+		nd.consumeResponse(r)
+		return
+	}
+	nd.enqueueResp(r)
+}
+
+// ---- Proposer logic ----
+
+// generateProposal is the change service's GenerateNewPAXOSProposal: start
+// a fresh proposal number, with a budget of two numbers per notification.
+func (nd *Node) generateProposal() {
+	if nd.decided {
+		return
+	}
+	nd.prop.triesLeft = 2
+	nd.startProposal()
+}
+
+func (nd *Node) startProposal() {
+	nd.prop.triesLeft--
+	tag := nd.prop.maxTagSeen + 1
+	nd.prop.maxTagSeen = tag
+	if tag > nd.maxTagUsed {
+		nd.maxTagUsed = tag
+	}
+	nd.prop.num = ProposalNum{Tag: tag, ID: nd.id}
+	nd.prop.phase = propPreparing
+	nd.prop.acks, nd.prop.nacks = 0, 0
+	nd.prop.bestPrev = nil
+	nd.originate(ProposerMsg{Kind: Prepare, Num: nd.prop.num})
+}
+
+// originate floods one of this node's own proposer messages and runs the
+// local acceptor against it.
+func (nd *Node) originate(m ProposerMsg) {
+	key := m.Proposition()
+	nd.seenProps[key] = true
+	nd.noteLeaderNum(m.Num)
+	nd.enqueueProp(m)
+	nd.respond(m)
+}
+
+// consumeResponse is the proposer counting responses addressed to itself.
+func (nd *Node) consumeResponse(r ResponseMsg) {
+	// Fold learned numbers into maxTagSeen here too: self-responses skip
+	// onResponse, and a retry must out-number everything the rejecting
+	// majority is committed to.
+	if nd.prop.maxTagSeen < r.Committed.Tag {
+		nd.prop.maxTagSeen = r.Committed.Tag
+	}
+	if r.Prev != nil && nd.prop.maxTagSeen < r.Prev.Num.Tag {
+		nd.prop.maxTagSeen = r.Prev.Num.Tag
+	}
+	if r.Positive {
+		nd.audit.addCounted(r.Prop, r.Count)
+	}
+	if nd.decided || r.Prop.Num != nd.prop.num {
+		return // stale proposition
+	}
+	switch {
+	case nd.prop.phase == propPreparing && r.Prop.Kind == Prepare:
+		if r.Positive {
+			nd.prop.acks += r.Count
+			nd.prop.bestPrev = maxPrev(nd.prop.bestPrev, r.Prev)
+			if 2*nd.prop.acks > int64(nd.n) {
+				nd.beginPropose()
+			}
+		} else {
+			nd.prop.nacks += r.Count
+			if 2*nd.prop.nacks > int64(nd.n) {
+				nd.retry()
+			}
+		}
+	case nd.prop.phase == propProposing && r.Prop.Kind == Propose:
+		if r.Positive {
+			nd.prop.acks += r.Count
+			if 2*nd.prop.acks > int64(nd.n) {
+				// A majority accepted: decide and flood.
+				nd.decide(nd.prop.value)
+				nd.decideQ = &DecideMsg{Val: nd.prop.value}
+			}
+		} else {
+			nd.prop.nacks += r.Count
+			if 2*nd.prop.nacks > int64(nd.n) {
+				nd.retry()
+			}
+		}
+	}
+}
+
+// beginPropose moves a prepared proposal to the propose phase, adopting the
+// highest-numbered previous proposal's value when one was reported
+// (Lemma 4.3's condition (b)), else this node's own input.
+func (nd *Node) beginPropose() {
+	nd.prop.phase = propProposing
+	nd.prop.acks, nd.prop.nacks = 0, 0
+	if nd.prop.bestPrev != nil {
+		nd.prop.value = nd.prop.bestPrev.Val
+	} else {
+		nd.prop.value = nd.input
+	}
+	nd.originate(ProposerMsg{Kind: Propose, Num: nd.prop.num, Val: nd.prop.value})
+}
+
+// retry abandons the current number after a majority rejected it. The
+// proposer has learned the largest committed number from the aggregated
+// rejections (already folded into maxTagSeen), so the next number — if the
+// two-numbers budget allows one and this node still believes it is the
+// leader — beats everything that majority is committed to.
+func (nd *Node) retry() {
+	if nd.leader.omega != nd.id || nd.prop.triesLeft <= 0 {
+		nd.prop.phase = propIdle
+		nd.prop.num = ProposalNum{}
+		return
+	}
+	nd.startProposal()
+}
+
+// ---- Introspection (used by experiments and tests) ----
+
+// Decided implements amac.Decider.
+func (nd *Node) Decided() (amac.Value, bool) { return nd.decision, nd.decided }
+
+// Leader returns the node's current leader estimate.
+func (nd *Node) Leader() amac.NodeID { return nd.leader.omega }
+
+// DistToLeader returns the node's best known distance to its current
+// leader estimate, or -1 when unknown.
+func (nd *Node) DistToLeader() int64 { return nd.tree.distTo(nd.leader.omega) }
+
+// ParentToLeader returns the next hop toward the current leader estimate,
+// or amac.NoID when unknown.
+func (nd *Node) ParentToLeader() amac.NodeID { return nd.tree.parentTo(nd.leader.omega) }
+
+// MaxTagUsed returns the largest proposal tag this node proposed with
+// (0 when it never proposed); Lemma 4.4 bounds it polynomially in n.
+func (nd *Node) MaxTagUsed() int64 { return nd.maxTagUsed }
+
+// StabilizationTimes returns the times of the node's last leader-estimate
+// update and last leader-distance update, for the E6 GST decomposition.
+func (nd *Node) StabilizationTimes() (leaderUpdate, distUpdate int64) {
+	return nd.lastLeaderUpdate, nd.lastLeaderDistUpdate
+}
+
+var (
+	_ amac.Algorithm = (*Node)(nil)
+	_ amac.Decider   = (*Node)(nil)
+)

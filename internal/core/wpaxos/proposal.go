@@ -1,0 +1,125 @@
+// Package wpaxos implements the paper's wireless PAXOS (wPAXOS) algorithm
+// for multihop topologies (Section 4.2): classic PAXOS proposer/acceptor
+// logic connected to four model-specific support services — leader
+// election, shortest-path-tree building, change notification, and a
+// broadcast multiplexer — that together solve consensus in O(D*Fack) time
+// in the abstract MAC layer model, assuming unique ids and knowledge of
+// the network size n (both required by the paper's lower bounds).
+//
+// The services follow Figure 3 of the paper:
+//
+//   - Leader election (Algorithm 2) floods the maximum id; the local
+//     estimate Omega_u stabilizes network-wide in O(D*Fack).
+//   - Tree building (Algorithm 4) runs Bellman-Ford style iterative
+//     refinement to grow, for every potential root, a shortest-path tree;
+//     search messages for the current leader take priority, so the
+//     eventual leader's tree completes O(D*Fack) after election
+//     stabilizes. Parent pointers only ever point strictly downhill
+//     (toward smaller distance), so routes never cycle.
+//   - The change service (Algorithm 3) floods a timestamped notification
+//     whenever a node's leader estimate or its distance to the current
+//     leader improves, and tells the (self-believed) leader to generate a
+//     new proposal; the final change in an execution marks the global
+//     stabilization time (GST), after which the leader generates Theta(1)
+//     further proposals and drives them to a decision.
+//   - The broadcast service (Algorithm 5) multiplexes one message from
+//     each non-empty service queue into a single bounded-size broadcast.
+//
+// Acceptor responses are unicast-over-broadcast toward the proposer along
+// the proposer-rooted tree and aggregated hop by hop: same-polarity
+// responses to the same proposition merge into a count, retaining only the
+// highest-numbered previous proposal (for positive prepare responses) and
+// the largest committed number (for rejections). Lemma 4.2's invariant —
+// the proposer never counts more affirmative responses than acceptors
+// generated — can be audited at runtime via CountAudit.
+package wpaxos
+
+import (
+	"fmt"
+
+	"github.com/absmac/absmac/internal/amac"
+)
+
+// ProposalNum is a PAXOS proposal number: a tag plus the proposing node's
+// id, compared lexicographically (Section 4.2.1). The zero value is below
+// every real proposal number and means "none".
+type ProposalNum struct {
+	Tag int64
+	ID  amac.NodeID
+}
+
+// IsZero reports whether the number is the "none" sentinel.
+func (p ProposalNum) IsZero() bool { return p.Tag == 0 && p.ID == 0 }
+
+// Less orders proposal numbers lexicographically.
+func (p ProposalNum) Less(q ProposalNum) bool {
+	if p.Tag != q.Tag {
+		return p.Tag < q.Tag
+	}
+	return p.ID < q.ID
+}
+
+// Max returns the larger of p and q.
+func (p ProposalNum) Max(q ProposalNum) ProposalNum {
+	if p.Less(q) {
+		return q
+	}
+	return p
+}
+
+func (p ProposalNum) String() string {
+	return fmt.Sprintf("(%d,%d)", p.Tag, p.ID)
+}
+
+// Proposal couples a proposal number with a value.
+type Proposal struct {
+	Num ProposalNum
+	Val amac.Value
+}
+
+// maxPrev returns the proposal with the larger number, treating nil as
+// "none". Used when aggregating previous proposals in responses.
+func maxPrev(a, b *Proposal) *Proposal {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case a.Num.Less(b.Num):
+		return b
+	default:
+		return a
+	}
+}
+
+// PropKind distinguishes the two proposer message kinds.
+type PropKind int
+
+// Proposer message kinds.
+const (
+	Prepare PropKind = iota + 1
+	Propose
+)
+
+func (k PropKind) String() string {
+	switch k {
+	case Prepare:
+		return "prepare"
+	case Propose:
+		return "propose"
+	default:
+		return fmt.Sprintf("PropKind(%d)", int(k))
+	}
+}
+
+// Proposition identifies one proposition in the paper's sense: a proposer,
+// a message kind, and a proposal number. It keys response aggregation and
+// the Lemma 4.2 audit.
+type Proposition struct {
+	Kind PropKind
+	Num  ProposalNum
+}
+
+func (p Proposition) String() string {
+	return fmt.Sprintf("%v%v", p.Kind, p.Num)
+}

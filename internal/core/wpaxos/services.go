@@ -1,0 +1,172 @@
+package wpaxos
+
+import "github.com/absmac/absmac/internal/amac"
+
+// This file implements the three queue-backed support services of Figure 3.
+// Each service owns a queue drained by the broadcast service (node.go);
+// queue semantics follow the paper's UpdateQ procedures.
+
+// leaderService implements Algorithm 2 (leader election): flood the
+// maximum id seen. Its queue holds at most one message — the newest.
+type leaderService struct {
+	omega amac.NodeID // Omega_u, the current leader estimate
+	queue *LeaderMsg
+}
+
+func (s *leaderService) init(self amac.NodeID) {
+	s.omega = self
+	s.queue = &LeaderMsg{ID: self}
+}
+
+// receive processes <leader, id>; it reports whether Omega_u changed.
+func (s *leaderService) receive(m LeaderMsg) bool {
+	if m.ID <= s.omega {
+		return false
+	}
+	s.omega = m.ID
+	s.queue = &LeaderMsg{ID: m.ID}
+	return true
+}
+
+// pop drains the queue for the broadcast service.
+func (s *leaderService) pop() *LeaderMsg {
+	m := s.queue
+	s.queue = nil
+	return m
+}
+
+// changeService implements Algorithm 3 (change notification). Its queue
+// also holds at most one message — the newest timestamp wins. The caller
+// is responsible for invoking the proposer's GenerateNewPAXOSProposal when
+// updateQ reports true and the node currently believes it is the leader.
+type changeService struct {
+	lastChange int64 // -1 stands in for the paper's negative infinity
+	queue      *ChangeMsg
+}
+
+func (s *changeService) init() {
+	s.lastChange = -1
+	s.queue = nil
+}
+
+// onChange handles a local change event (Omega_u or dist[Omega_u]
+// updated) at time now.
+func (s *changeService) onChange(now int64, self amac.NodeID) {
+	s.lastChange = now
+	s.queue = &ChangeMsg{T: now, ID: self}
+}
+
+// receive processes <change, t, id>; it reports whether the message was
+// fresh (t beyond lastChange), in which case the queue was updated.
+func (s *changeService) receive(m ChangeMsg) bool {
+	if m.T <= s.lastChange {
+		return false
+	}
+	s.lastChange = m.T
+	s.queue = &ChangeMsg{T: m.T, ID: m.ID}
+	return true
+}
+
+func (s *changeService) pop() *ChangeMsg {
+	m := s.queue
+	s.queue = nil
+	return m
+}
+
+// treeService implements Algorithm 4 (tree building): for every root id
+// seen, maintain the best known distance and the parent realizing it,
+// Bellman-Ford style. The queue keeps at most one search message per root
+// (the lowest hop count seen), with the current leader's message kept at
+// the front.
+type treeService struct {
+	self   amac.NodeID
+	dist   map[amac.NodeID]int64
+	parent map[amac.NodeID]amac.NodeID
+	// queue preserves FIFO order except that the current leader's entry
+	// is pinned to the front; queued maps root -> position validity via
+	// linear scan (queues are short-lived and small: one entry per root
+	// with pending propagation).
+	queue []SearchMsg
+}
+
+func (s *treeService) init(self amac.NodeID) {
+	s.self = self
+	s.dist = map[amac.NodeID]int64{self: 0}
+	s.parent = map[amac.NodeID]amac.NodeID{self: self}
+	s.queue = []SearchMsg{{Root: self, Hops: 1, Sender: self}}
+}
+
+// distTo returns the best known distance to root, or -1 when unknown
+// (the paper's infinity).
+func (s *treeService) distTo(root amac.NodeID) int64 {
+	d, ok := s.dist[root]
+	if !ok {
+		return -1
+	}
+	return d
+}
+
+// parentTo returns the parent toward root, or amac.NoID when unknown.
+func (s *treeService) parentTo(root amac.NodeID) amac.NodeID {
+	p, ok := s.parent[root]
+	if !ok {
+		return amac.NoID
+	}
+	return p
+}
+
+// receive processes <search, root, h> from sender; it reports whether the
+// distance estimate improved (h < dist[root]).
+func (s *treeService) receive(m SearchMsg, leader amac.NodeID) bool {
+	cur, known := s.dist[m.Root]
+	if known && m.Hops >= cur {
+		return false
+	}
+	s.dist[m.Root] = m.Hops
+	s.parent[m.Root] = m.Sender
+	s.updateQ(SearchMsg{Root: m.Root, Hops: m.Hops + 1, Sender: s.self}, leader)
+	return true
+}
+
+// updateQ enqueues a search message, discards any queued message for the
+// same root with a larger hop count, and pins the leader's message to the
+// front (Algorithm 4's UpdateQ).
+func (s *treeService) updateQ(m SearchMsg, leader amac.NodeID) {
+	kept := s.queue[:0]
+	for _, q := range s.queue {
+		if q.Root == m.Root {
+			if q.Hops <= m.Hops {
+				// The queued message dominates; drop the new one.
+				m = q
+			}
+			continue // the dominated copy is discarded
+		}
+		kept = append(kept, q)
+	}
+	s.queue = append(kept, m)
+	s.prioritize(leader)
+}
+
+// prioritize moves the current leader's search message (if any) to the
+// front; called on enqueue and when the leader estimate changes
+// (Algorithm 4's OnLeaderChange).
+func (s *treeService) prioritize(leader amac.NodeID) {
+	for i, q := range s.queue {
+		if q.Root == leader && i > 0 {
+			m := s.queue[i]
+			copy(s.queue[1:i+1], s.queue[:i])
+			s.queue[0] = m
+			return
+		}
+	}
+}
+
+// pop drains one message for the broadcast service.
+func (s *treeService) pop() *SearchMsg {
+	if len(s.queue) == 0 {
+		return nil
+	}
+	m := s.queue[0]
+	s.queue = s.queue[1:]
+	return &m
+}

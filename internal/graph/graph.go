@@ -1,0 +1,188 @@
+// Package graph provides the topology substrate for the abstract MAC layer
+// model: general undirected graphs, the standard families used by the
+// paper's analysis (cliques, lines, grids, random connected graphs), and
+// faithful constructions of the paper's lower-bound networks (Figure 1's
+// gadget networks A and B, Figure 2's K_D network).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph over nodes 0..N()-1. The zero value is
+// an empty graph; use New to allocate a graph with a fixed node count.
+type Graph struct {
+	adj   [][]int
+	edges int
+}
+
+// New returns a graph with n isolated nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Graph{adj: make([][]int, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.edges }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops and duplicate
+// edges are rejected with a panic: topology construction bugs must fail
+// loudly rather than silently distort an experiment.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at node %d", u))
+	}
+	g.check(u)
+	g.check(v)
+	if g.HasEdge(u, v) {
+		panic(fmt.Sprintf("graph: duplicate edge {%d,%d}", u, v))
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	g.edges++
+}
+
+func (g *Graph) check(u int) {
+	if u < 0 || u >= len(g.adj) {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", u, len(g.adj)))
+	}
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	// Scan the smaller adjacency list.
+	a, b := u, v
+	if len(g.adj[a]) > len(g.adj[b]) {
+		a, b = b, a
+	}
+	for _, w := range g.adj[a] {
+		if w == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns u's adjacency list. The returned slice is shared with
+// the graph and must not be mutated by callers.
+func (g *Graph) Neighbors(u int) []int {
+	g.check(u)
+	return g.adj[u]
+}
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u int) int {
+	g.check(u)
+	return len(g.adj[u])
+}
+
+// Sort orders every adjacency list ascending, giving deterministic
+// iteration order independent of construction order.
+func (g *Graph) Sort() {
+	for _, nbrs := range g.adj {
+		sort.Ints(nbrs)
+	}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make([][]int, len(g.adj)), edges: g.edges}
+	for u, nbrs := range g.adj {
+		c.adj[u] = append([]int(nil), nbrs...)
+	}
+	return c
+}
+
+// BFS returns the hop distance from src to every node; unreachable nodes
+// get -1.
+func (g *Graph) BFS(src int) []int {
+	g.check(src)
+	dist := make([]int, len(g.adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Dist returns the hop distance between u and v, or -1 when disconnected.
+func (g *Graph) Dist(u, v int) int {
+	return g.BFS(u)[v]
+}
+
+// Eccentricity returns the maximum distance from u to any node, or -1 when
+// the graph is disconnected.
+func (g *Graph) Eccentricity(u int) int {
+	ecc := 0
+	for _, d := range g.BFS(u) {
+		if d < 0 {
+			return -1
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the graph diameter via all-pairs BFS, or -1 when the
+// graph is disconnected. A single-node graph has diameter 0.
+func (g *Graph) Diameter() int {
+	if len(g.adj) == 0 {
+		return -1
+	}
+	diam := 0
+	for u := range g.adj {
+		e := g.Eccentricity(u)
+		if e < 0 {
+			return -1
+		}
+		if e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// IsConnected reports whether the graph is connected. The empty graph is
+// considered disconnected.
+func (g *Graph) IsConnected() bool {
+	if len(g.adj) == 0 {
+		return false
+	}
+	for _, d := range g.BFS(0) {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DegreeSequence returns the sorted multiset of node degrees.
+func (g *Graph) DegreeSequence() []int {
+	seq := make([]int, len(g.adj))
+	for u := range g.adj {
+		seq[u] = len(g.adj[u])
+	}
+	sort.Ints(seq)
+	return seq
+}

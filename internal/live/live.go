@@ -1,0 +1,345 @@
+// Package live is the repository's second substrate for the abstract MAC
+// layer model: a real goroutine-and-channels runtime in which the same
+// amac.Algorithm state machines that run on the deterministic simulator
+// run concurrently, with broadcast deliveries and acknowledgments arriving
+// on real timers bounded by a wall-clock Fack.
+//
+// Its purpose is the paper's deployability claim (Section 1): algorithms
+// written against the abstract MAC layer contract port unchanged from
+// analysis to a running system. The runtime enforces the same contract as
+// the simulator — every neighbor receives a broadcast before the sender's
+// ack, one broadcast in flight per node, extra broadcasts discarded — with
+// timing drawn from a seeded randomized scheduler instead of a plan.
+//
+// Crash failures are deliberately out of scope here; the Theorem 3.2
+// experiments need the simulator's reproducible schedules.
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/absmac/absmac/internal/amac"
+	"github.com/absmac/absmac/internal/consensus"
+	"github.com/absmac/absmac/internal/graph"
+	"github.com/absmac/absmac/internal/mailbox"
+	"github.com/absmac/absmac/internal/sim"
+)
+
+// Config describes one live execution.
+type Config struct {
+	// Graph is the topology. Required.
+	Graph *graph.Graph
+	// Inputs holds each node's initial value, indexed by node. Required.
+	Inputs []amac.Value
+	// Factory builds each node's algorithm. Required.
+	Factory amac.Factory
+	// Fack is the wall-clock delivery bound. Deliveries land within
+	// (0, Fack/2] and the ack within (0, Fack] of the broadcast.
+	// 0 means DefaultFack.
+	Fack time.Duration
+	// Seed seeds the randomized delays.
+	Seed int64
+	// IDs optionally assigns node ids (defaults to index+1).
+	IDs []amac.NodeID
+	// Timeout bounds the whole run; 0 means DefaultTimeout.
+	Timeout time.Duration
+}
+
+// DefaultFack is the delivery bound when Config.Fack is zero.
+const DefaultFack = 5 * time.Millisecond
+
+// DefaultTimeout bounds runs when Config.Timeout is zero.
+const DefaultTimeout = 30 * time.Second
+
+// ErrTimeout reports that the run timed out before every node decided.
+var ErrTimeout = errors.New("live: run timed out before all nodes decided")
+
+// Result summarizes a live execution.
+type Result struct {
+	// Decided, Decision and DecideTime mirror the simulator's result
+	// (times are wall-clock offsets from the run start).
+	Decided    []bool
+	Decision   []amac.Value
+	DecideTime []time.Duration
+	// Broadcasts and Discards count MAC-layer operations.
+	Broadcasts, Discards int64
+	// Elapsed is the total run time.
+	Elapsed time.Duration
+}
+
+// Report checks the outcome against the consensus properties.
+func (r *Result) Report(inputs []amac.Value) *consensus.Report {
+	// Reuse the simulator-result checker: the checked fields are plain
+	// data shared by both substrates.
+	sr := &sim.Result{
+		Decided:  r.Decided,
+		Decision: r.Decision,
+		Crashed:  make([]bool, len(r.Decided)),
+	}
+	sr.DecideTime = make([]int64, len(r.DecideTime))
+	for i, d := range r.DecideTime {
+		sr.DecideTime[i] = int64(d)
+	}
+	return consensus.Check(inputs, sr)
+}
+
+// event is a mailbox entry: a delivery or an acknowledgment.
+type event struct {
+	ack bool
+	msg amac.Message
+}
+
+type runtime struct {
+	cfg     Config
+	fack    time.Duration
+	ids     []amac.NodeID
+	boxes   []*mailbox.Mailbox[event]
+	clock   atomic.Int64
+	started time.Time
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	resMu      sync.Mutex
+	res        *Result
+	undecided  atomic.Int64
+	allDecided chan struct{}
+
+	ctx     context.Context
+	wg      sync.WaitGroup // node loops
+	senders sync.WaitGroup // delivery goroutines
+}
+
+// liveAPI implements amac.API for one node. Its methods are only called
+// from the node's event loop goroutine; the MAC state it touches is owned
+// by that goroutine.
+type liveAPI struct {
+	rt       *runtime
+	node     int
+	inflight bool
+}
+
+func (a *liveAPI) ID() amac.NodeID { return a.rt.ids[a.node] }
+
+// Now returns a strictly increasing logical timestamp shared by all nodes
+// (the total order the change service needs).
+func (a *liveAPI) Now() int64 { return a.rt.clock.Add(1) }
+
+func (a *liveAPI) Broadcast(m amac.Message) bool {
+	if m == nil {
+		panic(fmt.Sprintf("live: node %d broadcast a nil message", a.node))
+	}
+	if a.inflight {
+		a.rt.resMu.Lock()
+		a.rt.res.Discards++
+		a.rt.resMu.Unlock()
+		return false
+	}
+	a.inflight = true
+	a.rt.resMu.Lock()
+	a.rt.res.Broadcasts++
+	a.rt.resMu.Unlock()
+	a.rt.deliver(a.node, m)
+	return true
+}
+
+func (a *liveAPI) Decide(v amac.Value) {
+	rt := a.rt
+	rt.resMu.Lock()
+	already := rt.res.Decided[a.node]
+	if !already {
+		rt.res.Decided[a.node] = true
+		rt.res.Decision[a.node] = v
+		rt.res.DecideTime[a.node] = time.Since(rt.started)
+	}
+	rt.resMu.Unlock()
+	if !already && rt.undecided.Add(-1) == 0 {
+		close(rt.allDecided)
+	}
+}
+
+// deliver spawns the MAC-layer goroutine for one broadcast: randomized
+// per-neighbor delays within (0, Fack/2], then the ack within the Fack
+// budget.
+func (rt *runtime) deliver(sender int, m amac.Message) {
+	nbrs := rt.cfg.Graph.Neighbors(sender)
+	half := rt.fack / 2
+	if half < time.Microsecond {
+		half = time.Microsecond
+	}
+	delays := make([]time.Duration, len(nbrs))
+	rt.rngMu.Lock()
+	maxDelay := time.Duration(0)
+	for i := range delays {
+		delays[i] = time.Duration(rt.rng.Int63n(int64(half))) + 1
+		if delays[i] > maxDelay {
+			maxDelay = delays[i]
+		}
+	}
+	ackDelay := maxDelay + time.Duration(rt.rng.Int63n(int64(half)))
+	rt.rngMu.Unlock()
+
+	rt.senders.Add(1)
+	go func() {
+		defer rt.senders.Done()
+		start := time.Now()
+		// Deliver in delay order; sleeping the increments keeps one
+		// goroutine per broadcast.
+		order := make([]int, len(nbrs))
+		for i := range order {
+			order[i] = i
+		}
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && delays[order[j]] < delays[order[j-1]]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		for _, i := range order {
+			if !rt.sleepUntil(start, delays[i]) {
+				return
+			}
+			rt.boxes[nbrs[i]].Push(event{msg: m})
+		}
+		if !rt.sleepUntil(start, ackDelay) {
+			return
+		}
+		rt.boxes[sender].Push(event{ack: true, msg: m})
+	}()
+}
+
+// sleepUntil sleeps until start+d or the run's cancellation; it reports
+// whether the run is still live.
+func (rt *runtime) sleepUntil(start time.Time, d time.Duration) bool {
+	remaining := time.Until(start.Add(d))
+	if remaining <= 0 {
+		select {
+		case <-rt.ctx.Done():
+			return false
+		default:
+			return true
+		}
+	}
+	t := time.NewTimer(remaining)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-rt.ctx.Done():
+		return false
+	}
+}
+
+// Run executes the configuration until every node decides, the context is
+// canceled, or the timeout elapses. The result always reflects whatever
+// progress was made; the error is non-nil on timeout/cancellation.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Graph == nil {
+		panic("live: Config.Graph is nil")
+	}
+	n := cfg.Graph.N()
+	if len(cfg.Inputs) != n {
+		panic(fmt.Sprintf("live: %d inputs for %d nodes", len(cfg.Inputs), n))
+	}
+	if cfg.Factory == nil {
+		panic("live: Config.Factory is nil")
+	}
+	ids := cfg.IDs
+	if ids == nil {
+		ids = make([]amac.NodeID, n)
+		for i := range ids {
+			ids[i] = amac.NodeID(i + 1)
+		}
+	}
+	if len(ids) != n {
+		panic(fmt.Sprintf("live: %d ids for %d nodes", len(ids), n))
+	}
+	fack := cfg.Fack
+	if fack <= 0 {
+		fack = DefaultFack
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	rt := &runtime{
+		cfg:        cfg,
+		fack:       fack,
+		ids:        ids,
+		boxes:      make([]*mailbox.Mailbox[event], n),
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		allDecided: make(chan struct{}),
+		ctx:        runCtx,
+		started:    time.Now(),
+		res: &Result{
+			Decided:    make([]bool, n),
+			Decision:   make([]amac.Value, n),
+			DecideTime: make([]time.Duration, n),
+		},
+	}
+	rt.undecided.Store(int64(n))
+	for i := range rt.boxes {
+		rt.boxes[i] = mailbox.New[event]()
+	}
+
+	algs := make([]amac.Algorithm, n)
+	for i := 0; i < n; i++ {
+		algs[i] = cfg.Factory(amac.NodeConfig{ID: ids[i], Input: cfg.Inputs[i]})
+		if algs[i] == nil {
+			panic(fmt.Sprintf("live: factory returned nil algorithm for node %d", i))
+		}
+	}
+
+	// Node event loops: Start, then serve the mailbox until close.
+	for i := 0; i < n; i++ {
+		rt.wg.Add(1)
+		go func(i int) {
+			defer rt.wg.Done()
+			api := &liveAPI{rt: rt, node: i}
+			algs[i].Start(api)
+			for {
+				ev, ok := rt.boxes[i].Pop()
+				if !ok {
+					return
+				}
+				if ev.ack {
+					api.inflight = false
+					algs[i].OnAck(ev.msg)
+				} else {
+					algs[i].OnReceive(ev.msg)
+				}
+			}
+		}(i)
+	}
+
+	var err error
+	select {
+	case <-rt.allDecided:
+	case <-time.After(timeout):
+		err = ErrTimeout
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	cancel()
+	for _, b := range rt.boxes {
+		b.Close()
+	}
+	rt.wg.Wait()
+	rt.senders.Wait()
+
+	rt.resMu.Lock()
+	rt.res.Elapsed = time.Since(rt.started)
+	out := rt.res
+	rt.resMu.Unlock()
+	return out, err
+}

@@ -1,0 +1,124 @@
+package mailbox
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFIFO(t *testing.T) {
+	m := New[int]()
+	for i := 0; i < 5; i++ {
+		m.Push(i)
+	}
+	if m.Len() != 5 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := m.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: got %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestPopBlocksUntilPush(t *testing.T) {
+	m := New[string]()
+	got := make(chan string, 1)
+	go func() {
+		v, _ := m.Pop()
+		got <- v
+	}()
+	time.Sleep(5 * time.Millisecond)
+	m.Push("hello")
+	select {
+	case v := <-got:
+		if v != "hello" {
+			t.Fatalf("got %q", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("pop never woke")
+	}
+}
+
+func TestCloseDrainsThenStops(t *testing.T) {
+	m := New[int]()
+	m.Push(1)
+	m.Close()
+	if v, ok := m.Pop(); !ok || v != 1 {
+		t.Fatal("queued item lost on close")
+	}
+	if _, ok := m.Pop(); ok {
+		t.Fatal("pop after drain+close returned an item")
+	}
+	m.Push(2) // no-op
+	if _, ok := m.Pop(); ok {
+		t.Fatal("push after close accepted")
+	}
+}
+
+func TestCloseWakesBlockedPop(t *testing.T) {
+	m := New[int]()
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := m.Pop()
+		done <- ok
+	}()
+	time.Sleep(5 * time.Millisecond)
+	m.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("pop returned an item from an empty closed mailbox")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("close never woke the blocked pop")
+	}
+}
+
+func TestManyProducersOneConsumer(t *testing.T) {
+	m := New[int]()
+	const producers, per = 8, 200
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Push(p*per + i)
+			}
+		}(p)
+	}
+	seen := make(map[int]bool, producers*per)
+	for len(seen) < producers*per {
+		v, ok := m.Pop()
+		if !ok {
+			t.Fatal("mailbox closed unexpectedly")
+		}
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+	wg.Wait()
+}
+
+func TestOrderPreservedProperty(t *testing.T) {
+	f := func(items []int16) bool {
+		m := New[int16]()
+		for _, it := range items {
+			m.Push(it)
+		}
+		for _, want := range items {
+			got, ok := m.Pop()
+			if !ok || got != want {
+				return false
+			}
+		}
+		return m.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

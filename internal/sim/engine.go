@@ -1,0 +1,362 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"github.com/absmac/absmac/internal/amac"
+)
+
+// nodeState holds the engine-side runtime state of one node.
+type nodeState struct {
+	alg      amac.Algorithm
+	id       amac.NodeID
+	inflight bool // a broadcast is awaiting its ack
+	inMsg    amac.Message
+	bseq     int // next broadcast sequence number
+	crashAt  int64
+	crashed  bool
+	decided  bool
+	decision amac.Value
+	decideAt int64
+}
+
+type engine struct {
+	cfg    Config
+	nodes  []nodeState
+	heap   eventHeap
+	nexts  int64 // next event seq
+	now    int64
+	res    *Result
+	maxEvt int
+}
+
+// api implements amac.API for one node.
+type api struct {
+	e    *engine
+	node int
+}
+
+func (a api) ID() amac.NodeID { return a.e.nodes[a.node].id }
+
+func (a api) Now() int64 { return a.e.now }
+
+func (a api) Broadcast(m amac.Message) bool {
+	return a.e.broadcast(a.node, m)
+}
+
+func (a api) Decide(v amac.Value) {
+	a.e.decide(a.node, v)
+}
+
+var _ amac.API = api{}
+
+func newEngine(cfg Config) *engine {
+	if cfg.Graph == nil {
+		panic("sim: Config.Graph is nil")
+	}
+	n := cfg.Graph.N()
+	if len(cfg.Inputs) != n {
+		panic(fmt.Sprintf("sim: %d inputs for %d nodes", len(cfg.Inputs), n))
+	}
+	if cfg.Factory == nil {
+		panic("sim: Config.Factory is nil")
+	}
+	if cfg.Scheduler == nil {
+		panic("sim: Config.Scheduler is nil")
+	}
+	if cfg.Scheduler.Fack() <= 0 {
+		panic(fmt.Sprintf("sim: scheduler declares Fack=%d, need > 0", cfg.Scheduler.Fack()))
+	}
+	ids := cfg.IDs
+	if ids == nil {
+		ids = make([]amac.NodeID, n)
+		for i := range ids {
+			ids[i] = amac.NodeID(i + 1)
+		}
+	}
+	if len(ids) != n {
+		panic(fmt.Sprintf("sim: %d ids for %d nodes", len(ids), n))
+	}
+	seen := make(map[amac.NodeID]bool, n)
+	for _, id := range ids {
+		if seen[id] {
+			panic(fmt.Sprintf("sim: duplicate node id %d", id))
+		}
+		seen[id] = true
+	}
+	if cfg.Unreliable != nil {
+		if cfg.Unreliable.N() != n {
+			panic(fmt.Sprintf("sim: unreliable graph has %d nodes, topology has %d", cfg.Unreliable.N(), n))
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range cfg.Unreliable.Neighbors(u) {
+				if cfg.Graph.HasEdge(u, v) {
+					panic(fmt.Sprintf("sim: edge {%d,%d} is both reliable and unreliable", u, v))
+				}
+			}
+		}
+	}
+	maxEvt := cfg.MaxEvents
+	if maxEvt == 0 {
+		maxEvt = DefaultMaxEvents
+	}
+
+	e := &engine{
+		cfg:    cfg,
+		nodes:  make([]nodeState, n),
+		maxEvt: maxEvt,
+		res: &Result{
+			Decided:       make([]bool, n),
+			Decision:      make([]amac.Value, n),
+			DecideTime:    make([]int64, n),
+			Crashed:       make([]bool, n),
+			MaxDecideTime: -1,
+		},
+	}
+	for i := range e.nodes {
+		e.nodes[i].id = ids[i]
+		e.nodes[i].crashAt = -1
+		e.nodes[i].alg = cfg.Factory(amac.NodeConfig{ID: ids[i], Input: cfg.Inputs[i]})
+		if e.nodes[i].alg == nil {
+			panic(fmt.Sprintf("sim: factory returned nil algorithm for node %d", i))
+		}
+	}
+	for _, c := range cfg.Crashes {
+		if c.Node < 0 || c.Node >= n {
+			panic(fmt.Sprintf("sim: crash of node %d out of range", c.Node))
+		}
+		if c.At < 0 {
+			panic(fmt.Sprintf("sim: crash at negative time %d", c.At))
+		}
+		st := &e.nodes[c.Node]
+		if st.crashAt < 0 || c.At < st.crashAt {
+			st.crashAt = c.At
+		}
+	}
+	return e
+}
+
+func (e *engine) observe(ev Event) {
+	if e.cfg.Observer != nil {
+		e.cfg.Observer(ev)
+	}
+}
+
+// crashedBy reports whether node i has halted before time t. A crash at
+// time T takes effect strictly after T: events at exactly T still occur
+// (the paper lets the scheduler crash a node "in the middle of a
+// broadcast", i.e. between events, so the boundary convention is free; we
+// pick the one that maximizes what a crash can be observed to permit).
+func (e *engine) crashedBy(i int, t int64) bool {
+	at := e.nodes[i].crashAt
+	return at >= 0 && at < t
+}
+
+func (e *engine) push(ev *event) {
+	ev.seq = e.nexts
+	e.nexts++
+	heap.Push(&e.heap, ev)
+}
+
+func (e *engine) broadcast(u int, m amac.Message) bool {
+	if m == nil {
+		panic(fmt.Sprintf("sim: node %d broadcast a nil message", u))
+	}
+	st := &e.nodes[u]
+	if st.inflight {
+		e.res.Discards++
+		e.observe(Event{Kind: EventDiscard, Time: e.now, Node: u, Message: m})
+		return false
+	}
+	if e.cfg.Audit {
+		if err := amac.AuditIDCount(m); err != nil {
+			e.res.Violations = append(e.res.Violations, Violation{Time: e.now, Node: u, Desc: err.Error()})
+		}
+	}
+	nbrs := e.cfg.Graph.Neighbors(u)
+	b := Broadcast{Sender: u, Seq: st.bseq, Neighbors: nbrs, Now: e.now, Message: m}
+	if e.cfg.Unreliable != nil {
+		b.Unreliable = e.cfg.Unreliable.Neighbors(u)
+	}
+	plan := e.cfg.Scheduler.Plan(b)
+	e.validatePlan(b, plan)
+
+	st.inflight = true
+	st.inMsg = m
+	st.bseq++
+	e.res.Broadcasts++
+	e.observe(Event{Kind: EventBroadcast, Time: e.now, Node: u, Message: m})
+
+	// Push deliveries in deterministic (reliable-then-unreliable,
+	// index-ordered) order: heap ties break by insertion sequence, and
+	// map iteration order would leak nondeterminism into executions.
+	for _, v := range nbrs {
+		e.push(&event{time: plan.Recv[v], kind: EventDeliver, node: v, peer: u, bseq: b.Seq, msg: m})
+	}
+	for _, v := range b.Unreliable {
+		if at, ok := plan.Recv[v]; ok {
+			e.push(&event{time: at, kind: EventDeliver, node: v, peer: u, bseq: b.Seq, msg: m})
+		}
+	}
+	e.push(&event{time: plan.Ack, kind: EventAck, node: u, bseq: b.Seq, msg: m})
+	return true
+}
+
+func (e *engine) validatePlan(b Broadcast, p Plan) {
+	f := e.cfg.Scheduler.Fack()
+	deadline := b.Now + f
+	checkTiming := func(v int, t int64) {
+		if t <= b.Now {
+			panic(fmt.Sprintf("sim: scheduler delivers to %d at t=%d, not after broadcast at t=%d", v, t, b.Now))
+		}
+		if t > deadline {
+			panic(fmt.Sprintf("sim: scheduler delivers to %d at t=%d, past Fack deadline %d", v, t, deadline))
+		}
+		if t > p.Ack {
+			panic(fmt.Sprintf("sim: scheduler delivers to %d at t=%d, after the ack at t=%d", v, t, p.Ack))
+		}
+	}
+	covered := 0
+	for _, v := range b.Neighbors {
+		t, ok := p.Recv[v]
+		if !ok {
+			panic(fmt.Sprintf("sim: scheduler plan misses reliable neighbor %d of sender %d", v, b.Sender))
+		}
+		checkTiming(v, t)
+		covered++
+	}
+	for _, v := range b.Unreliable {
+		if t, ok := p.Recv[v]; ok {
+			checkTiming(v, t)
+			covered++
+		}
+	}
+	if covered != len(p.Recv) {
+		panic(fmt.Sprintf("sim: scheduler plan covers %d recipients but only %d are neighbors of sender %d", len(p.Recv), covered, b.Sender))
+	}
+	if p.Ack > deadline {
+		panic(fmt.Sprintf("sim: scheduler acks at t=%d, past Fack deadline %d", p.Ack, deadline))
+	}
+}
+
+func (e *engine) decide(u int, v amac.Value) {
+	st := &e.nodes[u]
+	if st.decided {
+		if st.decision != v {
+			e.res.Violations = append(e.res.Violations, Violation{
+				Time: e.now, Node: u,
+				Desc: fmt.Sprintf("second decide(%d) after decide(%d): decisions are irrevocable", v, st.decision),
+			})
+		}
+		return
+	}
+	st.decided = true
+	st.decision = v
+	st.decideAt = e.now
+	e.res.Decided[u] = true
+	e.res.Decision[u] = v
+	e.res.DecideTime[u] = e.now
+	if e.now > e.res.MaxDecideTime {
+		e.res.MaxDecideTime = e.now
+	}
+	e.observe(Event{Kind: EventDecide, Time: e.now, Node: u, Value: v})
+}
+
+func (e *engine) allDecided() bool {
+	for i := range e.nodes {
+		st := &e.nodes[i]
+		if !st.decided && !(st.crashAt >= 0 && st.crashAt <= e.now) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *engine) run() *Result {
+	// Start every node at time 0 in index order. A node scheduled to
+	// crash at time 0 never starts.
+	for i := range e.nodes {
+		if e.nodes[i].crashAt == 0 {
+			e.markCrashed(i)
+			continue
+		}
+		e.nodes[i].alg.Start(api{e: e, node: i})
+	}
+
+	for e.heap.Len() > 0 {
+		if e.res.Events >= e.maxEvt {
+			e.res.Cutoff = true
+			break
+		}
+		ev := heap.Pop(&e.heap).(*event)
+		if ev.time < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: %d -> %d", e.now, ev.time))
+		}
+		e.now = ev.time
+		e.res.Events++
+		e.res.Time = e.now
+
+		switch ev.kind {
+		case EventDeliver:
+			// A delivery is lost when the receiver has crashed, or
+			// when the sender crashed before this delivery time
+			// (mid-broadcast crash: the remaining neighbors never
+			// receive the message).
+			if e.crashedBy(ev.node, ev.time) {
+				e.markCrashed(ev.node)
+				continue
+			}
+			if e.crashedBy(ev.peer, ev.time) {
+				e.markCrashed(ev.peer)
+				continue
+			}
+			e.res.Deliveries++
+			e.observe(Event{Kind: EventDeliver, Time: e.now, Node: ev.node, Peer: ev.peer, Message: ev.msg})
+			e.nodes[ev.node].alg.OnReceive(ev.msg)
+		case EventAck:
+			if e.crashedBy(ev.node, ev.time) {
+				e.markCrashed(ev.node)
+				continue
+			}
+			st := &e.nodes[ev.node]
+			if !st.inflight || st.bseq-1 != ev.bseq {
+				panic(fmt.Sprintf("sim: stray ack for node %d bseq %d", ev.node, ev.bseq))
+			}
+			st.inflight = false
+			msg := st.inMsg
+			st.inMsg = nil
+			e.res.Acks++
+			e.observe(Event{Kind: EventAck, Time: e.now, Node: ev.node, Message: msg})
+			st.alg.OnAck(msg)
+		default:
+			panic(fmt.Sprintf("sim: unexpected heap event kind %v", ev.kind))
+		}
+
+		if e.cfg.StopWhenDecided && e.allDecided() {
+			break
+		}
+	}
+
+	if e.heap.Len() == 0 {
+		e.res.Quiescent = true
+	}
+	// Mark scheduled crashes that were never reached by an event so the
+	// result reflects the configured fault pattern.
+	for i := range e.nodes {
+		if e.nodes[i].crashAt >= 0 {
+			e.markCrashed(i)
+		}
+	}
+	return e.res
+}
+
+func (e *engine) markCrashed(i int) {
+	st := &e.nodes[i]
+	if st.crashed {
+		return
+	}
+	st.crashed = true
+	e.res.Crashed[i] = true
+	e.observe(Event{Kind: EventCrash, Time: st.crashAt, Node: i})
+}

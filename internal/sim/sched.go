@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file implements the message schedulers used throughout the paper's
+// arguments and this repository's experiments. Every scheduler is
+// deterministic given its construction parameters.
+
+// Synchronous is the paper's synchronous scheduler (Section 3.2): message
+// behaviour proceeds in lock-step rounds of duration Round. All deliveries
+// of a broadcast land at the next round boundary, and the ack arrives with
+// them, so each broadcast/ack cycle takes exactly one round and
+// Fack = Round.
+type Synchronous struct {
+	// Round is the lock-step round length; 0 means 1.
+	Round int64
+}
+
+func (s Synchronous) round() int64 {
+	if s.Round <= 0 {
+		return 1
+	}
+	return s.Round
+}
+
+// Fack implements Scheduler.
+func (s Synchronous) Fack() int64 { return s.round() }
+
+// Plan implements Scheduler.
+func (s Synchronous) Plan(b Broadcast) Plan {
+	r := s.round()
+	// Next round boundary strictly after Now.
+	at := (b.Now/r + 1) * r
+	recv := make(map[int]int64, len(b.Neighbors))
+	for _, v := range b.Neighbors {
+		recv[v] = at
+	}
+	return Plan{Recv: recv, Ack: at}
+}
+
+// MaxDelay delays every delivery and ack to exactly Fack after the
+// broadcast — the scheduler behind the Theorem 3.10 time lower bound.
+type MaxDelay struct {
+	F int64
+}
+
+// Fack implements Scheduler.
+func (s MaxDelay) Fack() int64 {
+	if s.F <= 0 {
+		return 1
+	}
+	return s.F
+}
+
+// Plan implements Scheduler.
+func (s MaxDelay) Plan(b Broadcast) Plan {
+	at := b.Now + s.Fack()
+	recv := make(map[int]int64, len(b.Neighbors))
+	for _, v := range b.Neighbors {
+		recv[v] = at
+	}
+	return Plan{Recv: recv, Ack: at}
+}
+
+// Random delivers each message at an independent uniform time in
+// [Now+1, Now+F] and acks at a uniform time between the last delivery and
+// the deadline. It is the workhorse scheduler for correctness censuses.
+type Random struct {
+	F    int64
+	Seed int64
+
+	rng *rand.Rand
+}
+
+// NewRandom returns a Random scheduler with the given bound and seed.
+func NewRandom(f, seed int64) *Random {
+	if f <= 0 {
+		panic(fmt.Sprintf("sim: Random scheduler needs F > 0, got %d", f))
+	}
+	return &Random{F: f, Seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Fack implements Scheduler.
+func (s *Random) Fack() int64 { return s.F }
+
+// Plan implements Scheduler.
+func (s *Random) Plan(b Broadcast) Plan {
+	recv := make(map[int]int64, len(b.Neighbors))
+	latest := b.Now + 1
+	for _, v := range b.Neighbors {
+		t := b.Now + 1 + s.rng.Int63n(s.F)
+		recv[v] = t
+		if t > latest {
+			latest = t
+		}
+	}
+	ack := latest
+	if room := b.Now + s.F - latest; room > 0 {
+		ack += s.rng.Int63n(room + 1)
+	}
+	return Plan{Recv: recv, Ack: ack}
+}
+
+// Gate wraps a base scheduler and silences a set of senders until a global
+// time T: any broadcast a gated node issues before T has its deliveries and
+// ack postponed to T plus the base scheduler's relative plan. This is the
+// semi-synchronous scheduler of Sections 3.2 and 3.3 — the executions it
+// produces are indistinguishable, for nodes outside the gated set, from
+// executions in which the gated nodes' components are absent.
+type Gate struct {
+	Base Scheduler
+	// Gated marks silenced senders by node index.
+	Gated map[int]bool
+	// Until is the global time at which gated senders become audible.
+	Until int64
+}
+
+// Fack implements Scheduler: the bound covers the gate delay.
+func (s Gate) Fack() int64 { return s.Until + s.Base.Fack() }
+
+// Plan implements Scheduler.
+func (s Gate) Plan(b Broadcast) Plan {
+	p := s.Base.Plan(b)
+	if !s.Gated[b.Sender] || b.Now >= s.Until {
+		return p
+	}
+	// Shift the base plan's relative offsets past the gate.
+	shift := s.Until - b.Now
+	recv := make(map[int]int64, len(p.Recv))
+	for v, t := range p.Recv {
+		recv[v] = t + shift
+	}
+	return Plan{Recv: recv, Ack: p.Ack + shift}
+}
+
+// SlowSubset wraps a base scheduler and multiplies the relative delays of
+// broadcasts issued by the marked senders by Factor (capped at the declared
+// bound). It exercises wPAXOS's majority-progress property: a slow minority
+// must not slow decisions (Section 1, footnote on choosing PAXOS).
+type SlowSubset struct {
+	Base   Scheduler
+	Slow   map[int]bool
+	Factor int64
+}
+
+// Fack implements Scheduler.
+func (s SlowSubset) Fack() int64 {
+	f := s.Factor
+	if f < 1 {
+		f = 1
+	}
+	return s.Base.Fack() * f
+}
+
+// Plan implements Scheduler.
+func (s SlowSubset) Plan(b Broadcast) Plan {
+	p := s.Base.Plan(b)
+	if !s.Slow[b.Sender] {
+		return p
+	}
+	f := s.Factor
+	if f < 1 {
+		f = 1
+	}
+	recv := make(map[int]int64, len(p.Recv))
+	for v, t := range p.Recv {
+		recv[v] = b.Now + (t-b.Now)*f
+	}
+	return Plan{Recv: recv, Ack: b.Now + (p.Ack-b.Now)*f}
+}
+
+// EdgeOrder delivers each broadcast's messages one neighbor at a time in a
+// fixed node-index order with unit gaps, acking last — an adversarial
+// serialization that stresses algorithms relying on delivery order. The
+// declared bound must cover the widest neighborhood: MaxDegree+1 slots.
+type EdgeOrder struct {
+	// MaxDegree must be at least the maximum degree in the topology.
+	MaxDegree int
+	// Descending reverses the serialization order.
+	Descending bool
+}
+
+// Fack implements Scheduler.
+func (s EdgeOrder) Fack() int64 { return int64(s.MaxDegree) + 1 }
+
+// Plan implements Scheduler.
+func (s EdgeOrder) Plan(b Broadcast) Plan {
+	if len(b.Neighbors) > s.MaxDegree {
+		panic(fmt.Sprintf("sim: EdgeOrder.MaxDegree=%d below degree %d of node %d", s.MaxDegree, len(b.Neighbors), b.Sender))
+	}
+	order := append([]int(nil), b.Neighbors...)
+	// Neighbors come sorted ascending from graph.Sort-ed topologies, but
+	// sort defensively by index via insertion (lists are short).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j] < order[j-1]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	if s.Descending {
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+	recv := make(map[int]int64, len(order))
+	for i, v := range order {
+		recv[v] = b.Now + int64(i) + 1
+	}
+	return Plan{Recv: recv, Ack: b.Now + int64(len(order)) + 1}
+}
+
+// Lossy adapts any base scheduler to dual-graph (unreliable link)
+// configurations: the base scheduler plans the reliable deliveries, and
+// Lossy independently delivers over each unreliable edge with probability
+// P, at a uniform time no later than the ack. Use it as the outermost
+// wrapper.
+type Lossy struct {
+	Base Scheduler
+	P    float64
+
+	rng *rand.Rand
+}
+
+// NewLossy returns a Lossy scheduler with delivery probability p over
+// unreliable edges.
+func NewLossy(base Scheduler, p float64, seed int64) *Lossy {
+	if base == nil {
+		panic("sim: Lossy needs a base scheduler")
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("sim: invalid unreliable delivery probability %v", p))
+	}
+	return &Lossy{Base: base, P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Fack implements Scheduler.
+func (s *Lossy) Fack() int64 { return s.Base.Fack() }
+
+// Plan implements Scheduler.
+func (s *Lossy) Plan(b Broadcast) Plan {
+	p := s.Base.Plan(b)
+	for _, v := range b.Unreliable {
+		if s.rng.Float64() >= s.P {
+			continue
+		}
+		span := p.Ack - b.Now
+		if span < 1 {
+			span = 1
+		}
+		p.Recv[v] = b.Now + 1 + s.rng.Int63n(span)
+		if p.Recv[v] > p.Ack {
+			p.Recv[v] = p.Ack
+		}
+	}
+	return p
+}
+
+var (
+	_ Scheduler = Synchronous{}
+	_ Scheduler = MaxDelay{}
+	_ Scheduler = (*Random)(nil)
+	_ Scheduler = Gate{}
+	_ Scheduler = SlowSubset{}
+	_ Scheduler = EdgeOrder{}
+	_ Scheduler = (*Lossy)(nil)
+)

@@ -1,0 +1,271 @@
+// Package sim implements a deterministic discrete-event simulator for the
+// abstract MAC layer model of Newport (PODC 2014).
+//
+// All nondeterminism in the model lives in the message scheduler, so the
+// simulator delegates every timing decision to a pluggable Scheduler: at
+// each broadcast the scheduler returns a delivery plan (a receive time per
+// neighbor plus an acknowledgment time), and the engine executes plans on a
+// virtual-time event heap. The engine validates every plan against the
+// model contract — deliveries strictly after the broadcast, the ack no
+// earlier than any delivery, everything within the scheduler's declared
+// Fack — so a buggy scheduler fails loudly instead of silently producing an
+// execution outside the model.
+//
+// Crash failures (used by the Theorem 3.2 experiments) are expressed as a
+// per-node cutoff time: events affecting a node after its crash time are
+// dropped, which yields exactly the paper's mid-broadcast crash semantics
+// (some neighbors received the in-flight message, the rest never will, and
+// the ack is lost).
+package sim
+
+import (
+	"fmt"
+
+	"github.com/absmac/absmac/internal/amac"
+	"github.com/absmac/absmac/internal/graph"
+)
+
+// Broadcast describes one broadcast for which a Scheduler must produce a
+// Plan.
+type Broadcast struct {
+	// Sender is the broadcasting node's index in the topology graph.
+	Sender int
+	// Seq is the per-sender broadcast sequence number, starting at 0.
+	Seq int
+	// Neighbors lists the sender's reliable neighbors (crashed or not;
+	// crash cutoffs are applied by the engine, not the scheduler).
+	Neighbors []int
+	// Unreliable lists the sender's unreliable neighbors (present only
+	// when Config.Unreliable is set — the dual-graph model variant of
+	// Kuhn, Lynch and Newport that the paper's Section 2 mentions).
+	// The scheduler may deliver to any subset of them.
+	Unreliable []int
+	// Now is the virtual time at which the broadcast was issued.
+	Now int64
+	// Message is the message being sent (schedulers may inspect it, but
+	// the model's schedulers are content-oblivious).
+	Message amac.Message
+}
+
+// Plan gives the absolute virtual times at which each neighbor receives the
+// message and at which the sender is acked. A valid plan satisfies
+// Now < Recv[v] <= Ack <= Now+Fack for every reliable neighbor v; it must
+// cover every reliable neighbor and may additionally include any subset of
+// the unreliable neighbors (same timing constraints).
+type Plan struct {
+	Recv map[int]int64
+	Ack  int64
+}
+
+// Scheduler is the model's message scheduler. Implementations must be
+// deterministic given their construction parameters (seeded randomness is
+// fine) so executions are reproducible.
+type Scheduler interface {
+	// Fack returns the scheduler's delivery bound. The engine enforces
+	// it; algorithms never see it.
+	Fack() int64
+	// Plan produces the delivery plan for one broadcast.
+	Plan(b Broadcast) Plan
+}
+
+// Crash schedules a crash failure: node Node halts at time At. Deliveries
+// to and from the node planned after At never happen, and any in-flight
+// broadcast loses its ack.
+type Crash struct {
+	Node int
+	At   int64
+}
+
+// Config describes one execution.
+type Config struct {
+	// Graph is the topology. Required.
+	Graph *graph.Graph
+	// Inputs holds each node's consensus initial value, indexed by node.
+	// Required, length Graph.N().
+	Inputs []amac.Value
+	// Factory builds each node's algorithm. Required.
+	Factory amac.Factory
+	// Scheduler controls message timing. Required.
+	Scheduler Scheduler
+	// IDs optionally assigns node ids (defaults to index+1). Must be
+	// unique when present.
+	IDs []amac.NodeID
+	// Unreliable optionally adds a second topology graph of unreliable
+	// links (the dual-graph abstract MAC layer variant): a broadcast is
+	// guaranteed to reach Graph-neighbors but only *may* reach
+	// Unreliable-neighbors, at the scheduler's whim. It must have the
+	// same node count as Graph and be edge-disjoint from it.
+	Unreliable *graph.Graph
+	// Crashes optionally schedules crash failures.
+	Crashes []Crash
+	// MaxEvents caps processed events to guard against non-quiescent
+	// executions; 0 means DefaultMaxEvents.
+	MaxEvents int
+	// StopWhenDecided stops the run as soon as every non-crashed node
+	// has decided (the default harness behaviour). When false the run
+	// continues to quiescence, which exercises post-decision behaviour.
+	StopWhenDecided bool
+	// Audit enables the per-message id-count audit.
+	Audit bool
+	// Observer, when non-nil, receives every engine event in execution
+	// order (for tracing).
+	Observer func(Event)
+}
+
+// DefaultMaxEvents bounds event processing when Config.MaxEvents is zero.
+const DefaultMaxEvents = 20_000_000
+
+// EventKind enumerates observable engine events.
+type EventKind int
+
+// Event kinds.
+const (
+	EventBroadcast EventKind = iota + 1
+	EventDeliver
+	EventAck
+	EventDecide
+	EventCrash
+	EventDiscard // broadcast attempted while one was in flight
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventBroadcast:
+		return "broadcast"
+	case EventDeliver:
+		return "deliver"
+	case EventAck:
+		return "ack"
+	case EventDecide:
+		return "decide"
+	case EventCrash:
+		return "crash"
+	case EventDiscard:
+		return "discard"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one observable occurrence in an execution.
+type Event struct {
+	Kind EventKind
+	Time int64
+	// Node is the acting node (sender, receiver, decider, crasher).
+	Node int
+	// Peer is the counterparty when meaningful (sender for deliveries).
+	Peer int
+	// Message is the message involved, when meaningful.
+	Message amac.Message
+	// Value is the decision value for EventDecide.
+	Value amac.Value
+}
+
+// Violation records a detected breach of the problem or model contract.
+type Violation struct {
+	Time int64
+	Node int
+	Desc string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("t=%d node=%d: %s", v.Time, v.Node, v.Desc)
+}
+
+// Result summarizes an execution.
+type Result struct {
+	// Decided[i] reports whether node i decided; Decision[i] and
+	// DecideTime[i] are meaningful only when it did.
+	Decided    []bool
+	Decision   []amac.Value
+	DecideTime []int64
+	// Crashed[i] reports whether node i crashed.
+	Crashed []bool
+	// Time is the virtual time of the last processed event.
+	Time int64
+	// MaxDecideTime is the latest decision time among deciders (the
+	// experiment's "decision time"), or -1 when nobody decided.
+	MaxDecideTime int64
+	// Broadcasts, Deliveries, Acks and Discards count MAC-layer events.
+	Broadcasts, Deliveries, Acks, Discards int
+	// Events counts processed heap events.
+	Events int
+	// Quiescent reports that the event heap drained.
+	Quiescent bool
+	// Cutoff reports that MaxEvents was reached.
+	Cutoff bool
+	// Violations lists contract breaches (double decide, audit failures).
+	Violations []Violation
+}
+
+// AllDecided reports whether every non-crashed node decided.
+func (r *Result) AllDecided() bool {
+	for i, d := range r.Decided {
+		if !d && !r.Crashed[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DecidedValues returns the set of distinct decided values.
+func (r *Result) DecidedValues() []amac.Value {
+	seen := map[amac.Value]bool{}
+	var vals []amac.Value
+	for i, d := range r.Decided {
+		if d && !seen[r.Decision[i]] {
+			seen[r.Decision[i]] = true
+			vals = append(vals, r.Decision[i])
+		}
+	}
+	return vals
+}
+
+// event is a heap entry. seq breaks time ties deterministically in
+// insertion order.
+type event struct {
+	time int64
+	seq  int64
+	kind EventKind
+	node int // acted-on node (receiver for deliver, sender for ack)
+	peer int // sender for deliver
+	bseq int // sender's broadcast sequence the event belongs to
+	msg  amac.Message
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+// Less orders events by time, then deliveries before acks (the paper's
+// synchronous scheduler "delivers all nodes' current message to all
+// recipients, then provides all nodes with an ack" — co-timed deliveries
+// must precede co-timed acks), then deterministically by insertion order.
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind == EventDeliver
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Run executes the configuration to completion and returns the result. It
+// panics on configuration errors (nil fields, length mismatches, duplicate
+// ids) and on scheduler contract violations; algorithm/problem violations
+// are recorded in the result instead.
+func Run(cfg Config) *Result {
+	e := newEngine(cfg)
+	return e.run()
+}

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/absmac/absmac/internal/amac"
+	"github.com/absmac/absmac/internal/graph"
+)
+
+// The dual-graph (unreliable link) model variant: broadcasts must reach
+// reliable neighbors and may reach unreliable ones.
+
+func TestUnreliableDelivery(t *testing.T) {
+	// Reliable: line 0-1. Unreliable: edge {0,2} (node 2 is otherwise
+	// disconnected from 0... it must still be in the topology; use a
+	// 3-line 0-1-2 with unreliable chord {0,2}).
+	g := graph.Line(3)
+	u := graph.New(3)
+	u.AddEdge(0, 2)
+
+	countFrom0To2 := 0
+	run := func(p float64) {
+		countFrom0To2 = 0
+		Run(Config{
+			Graph:      g,
+			Unreliable: u,
+			Inputs:     inputs(0, 0, 0),
+			Factory:    onceFactory,
+			Scheduler:  NewLossy(Synchronous{}, p, 9),
+			Observer: func(ev Event) {
+				if ev.Kind == EventDeliver && ev.Peer == 0 && ev.Node == 2 {
+					countFrom0To2++
+				}
+			},
+		})
+	}
+	run(0)
+	if countFrom0To2 != 0 {
+		t.Fatalf("p=0: %d deliveries over the unreliable edge", countFrom0To2)
+	}
+	run(1)
+	if countFrom0To2 != 1 {
+		t.Fatalf("p=1: %d deliveries over the unreliable edge, want 1", countFrom0To2)
+	}
+}
+
+func TestUnreliableNeverBlocksAck(t *testing.T) {
+	// Reliable deliveries and the ack must be unaffected by the overlay.
+	g := graph.Line(3)
+	u := graph.New(3)
+	u.AddEdge(0, 2)
+	res := Run(Config{
+		Graph:           g,
+		Unreliable:      u,
+		Inputs:          inputs(1, 1, 1),
+		Factory:         onceFactory,
+		Scheduler:       NewLossy(Synchronous{}, 0.5, 3),
+		StopWhenDecided: true,
+	})
+	if !res.AllDecided() {
+		t.Fatal("reliable substrate failed under the overlay")
+	}
+	if res.MaxDecideTime != 1 {
+		t.Fatalf("decision time %d, want 1 (synchronous base)", res.MaxDecideTime)
+	}
+}
+
+func TestUnreliableValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  func() Config
+	}{
+		{"node count mismatch", func() Config {
+			return Config{
+				Graph:      graph.Line(3),
+				Unreliable: graph.New(2),
+				Inputs:     inputs(0, 0, 0),
+				Factory:    onceFactory,
+				Scheduler:  Synchronous{},
+			}
+		}},
+		{"overlapping edge", func() Config {
+			u := graph.New(3)
+			u.AddEdge(0, 1) // also a reliable edge
+			return Config{
+				Graph:      graph.Line(3),
+				Unreliable: u,
+				Inputs:     inputs(0, 0, 0),
+				Factory:    onceFactory,
+				Scheduler:  Synchronous{},
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			Run(tc.cfg())
+		})
+	}
+}
+
+func TestPlanMayNotInventRecipients(t *testing.T) {
+	// A scheduler delivering to a non-neighbor must be rejected.
+	bad := planFunc{f: func(b Broadcast) Plan {
+		p := Plan{Recv: map[int]int64{}, Ack: b.Now + 1}
+		for _, v := range b.Neighbors {
+			p.Recv[v] = b.Now + 1
+		}
+		p.Recv[99] = b.Now + 1 // not a neighbor of anyone
+		return p
+	}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Run(Config{
+		Graph:     graph.Line(100),
+		Inputs:    make([]amac.Value, 100),
+		Factory:   onceFactory,
+		Scheduler: bad,
+	})
+}
+
+func TestLossyDeterministic(t *testing.T) {
+	g := graph.Ring(6)
+	u := graph.RandomOverlay(g, 4, 2)
+	run := func() *Result {
+		return Run(Config{
+			Graph:           g,
+			Unreliable:      u,
+			Inputs:          inputs(0, 1, 0, 1, 0, 1),
+			Factory:         onceFactory,
+			Scheduler:       NewLossy(NewRandom(5, 7), 0.5, 7),
+			StopWhenDecided: true,
+		})
+	}
+	a, b := run(), run()
+	if a.Events != b.Events || a.Deliveries != b.Deliveries {
+		t.Fatalf("lossy runs diverged: %d/%d vs %d/%d events/deliveries", a.Events, a.Deliveries, b.Events, b.Deliveries)
+	}
+}
+
+func TestLossyValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewLossy(nil, 0.5, 1) },
+		func() { NewLossy(Synchronous{}, -0.1, 1) },
+		func() { NewLossy(Synchronous{}, 1.1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

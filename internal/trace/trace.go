@@ -1,0 +1,117 @@
+// Package trace records simulator events for post-mortem inspection: a
+// bounded ring buffer with kind filtering, plain-text rendering, and
+// per-kind summaries. It plugs into sim.Config.Observer.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/absmac/absmac/internal/sim"
+)
+
+// Recorder captures simulator events. The zero value is unusable; create
+// recorders with New.
+type Recorder struct {
+	cap    int
+	events []sim.Event
+	start  int // ring start when full
+	total  int
+	counts map[sim.EventKind]int
+	keep   map[sim.EventKind]bool
+}
+
+// New returns a recorder retaining at most capacity events (older events
+// fall off). A capacity of 0 means DefaultCapacity. With no kinds given,
+// every kind is retained; otherwise only the listed kinds are.
+func New(capacity int, kinds ...sim.EventKind) *Recorder {
+	if capacity < 0 {
+		panic(fmt.Sprintf("trace: negative capacity %d", capacity))
+	}
+	if capacity == 0 {
+		capacity = DefaultCapacity
+	}
+	r := &Recorder{
+		cap:    capacity,
+		counts: make(map[sim.EventKind]int),
+	}
+	if len(kinds) > 0 {
+		r.keep = make(map[sim.EventKind]bool, len(kinds))
+		for _, k := range kinds {
+			r.keep[k] = true
+		}
+	}
+	return r
+}
+
+// DefaultCapacity bounds retained events when New is called with 0.
+const DefaultCapacity = 4096
+
+// Observer returns the callback to install as sim.Config.Observer.
+func (r *Recorder) Observer() func(sim.Event) { return r.record }
+
+func (r *Recorder) record(ev sim.Event) {
+	r.counts[ev.Kind]++
+	r.total++
+	if r.keep != nil && !r.keep[ev.Kind] {
+		return
+	}
+	if len(r.events) < r.cap {
+		r.events = append(r.events, ev)
+		return
+	}
+	r.events[r.start] = ev
+	r.start = (r.start + 1) % r.cap
+}
+
+// Total returns the number of events observed (including filtered ones).
+func (r *Recorder) Total() int { return r.total }
+
+// Count returns how many events of the given kind were observed.
+func (r *Recorder) Count(k sim.EventKind) int { return r.counts[k] }
+
+// Events returns the retained events in observation order.
+func (r *Recorder) Events() []sim.Event {
+	out := make([]sim.Event, 0, len(r.events))
+	out = append(out, r.events[r.start:]...)
+	out = append(out, r.events[:r.start]...)
+	return out
+}
+
+// Format renders one event as a single line.
+func Format(ev sim.Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%-8d %-9s node=%-4d", ev.Time, ev.Kind, ev.Node)
+	switch ev.Kind {
+	case sim.EventDeliver:
+		fmt.Fprintf(&b, " from=%-4d", ev.Peer)
+	case sim.EventDecide:
+		fmt.Fprintf(&b, " value=%d", ev.Value)
+	}
+	if ev.Message != nil && ev.Kind != sim.EventDecide && ev.Kind != sim.EventCrash {
+		fmt.Fprintf(&b, " msg=%T", ev.Message)
+	}
+	return b.String()
+}
+
+// Dump writes the retained events to w, one line each.
+func (r *Recorder) Dump(w io.Writer) error {
+	for _, ev := range r.Events() {
+		if _, err := fmt.Fprintln(w, Format(ev)); err != nil {
+			return fmt.Errorf("trace: dump: %w", err)
+		}
+	}
+	return nil
+}
+
+// Summary renders the per-kind counts in kind order.
+func (r *Recorder) Summary() string {
+	var b strings.Builder
+	for k := sim.EventBroadcast; k <= sim.EventDiscard; k++ {
+		if c := r.counts[k]; c > 0 {
+			fmt.Fprintf(&b, "%s=%d ", k, c)
+		}
+	}
+	return strings.TrimSpace(b.String())
+}

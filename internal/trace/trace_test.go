@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/absmac/absmac/internal/amac"
+	"github.com/absmac/absmac/internal/core/twophase"
+	"github.com/absmac/absmac/internal/graph"
+	"github.com/absmac/absmac/internal/sim"
+)
+
+func runWith(r *Recorder) {
+	inputs := []amac.Value{0, 1, 0}
+	sim.Run(sim.Config{
+		Graph:           graph.Clique(3),
+		Inputs:          inputs,
+		Factory:         twophase.Factory,
+		Scheduler:       sim.Synchronous{},
+		StopWhenDecided: true,
+		Observer:        r.Observer(),
+	})
+}
+
+func TestRecorderCapturesEverything(t *testing.T) {
+	r := New(0)
+	runWith(r)
+	if r.Total() == 0 {
+		t.Fatal("no events recorded")
+	}
+	if got := len(r.Events()); got != r.Total() {
+		t.Fatalf("retained %d of %d events with default capacity", got, r.Total())
+	}
+	if r.Count(sim.EventDecide) != 3 {
+		t.Fatalf("decides = %d, want 3", r.Count(sim.EventDecide))
+	}
+	if r.Count(sim.EventBroadcast) == 0 || r.Count(sim.EventAck) == 0 {
+		t.Fatal("missing broadcast/ack counts")
+	}
+}
+
+func TestRecorderRingBuffer(t *testing.T) {
+	r := New(5)
+	runWith(r)
+	evs := r.Events()
+	if len(evs) != 5 {
+		t.Fatalf("retained %d events, want capacity 5", len(evs))
+	}
+	// The retained window is the most recent five, in order.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			t.Fatalf("ring order broken: %v after %v", evs[i].Time, evs[i-1].Time)
+		}
+	}
+	// The last retained event is the run's last event (a decide).
+	if evs[len(evs)-1].Kind != sim.EventDecide {
+		t.Fatalf("last retained event %v, want a decide", evs[len(evs)-1].Kind)
+	}
+}
+
+func TestRecorderKindFilter(t *testing.T) {
+	r := New(100, sim.EventDecide)
+	runWith(r)
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3 decides", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Kind != sim.EventDecide {
+			t.Fatalf("retained %v despite filter", ev.Kind)
+		}
+	}
+	// Counts still cover everything.
+	if r.Total() <= 3 {
+		t.Fatalf("total = %d, should include filtered events", r.Total())
+	}
+}
+
+func TestFormatAndDump(t *testing.T) {
+	r := New(100)
+	runWith(r)
+	var b strings.Builder
+	if err := r.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"broadcast", "deliver", "ack", "decide", "value=1", "from="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := New(10)
+	runWith(r)
+	s := r.Summary()
+	for _, want := range []string{"broadcast=", "deliver=", "ack=", "decide=3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestNewPanicsOnNegativeCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(-1)
+}
