@@ -1,85 +1,135 @@
-// Command amacsim runs one consensus execution in the abstract MAC layer
-// simulator and reports the outcome: which algorithm, on which topology,
-// under which scheduler.
+// Command amacsim runs consensus executions in the abstract MAC layer
+// simulator — one execution by default, a parallel scenario sweep with
+// -sweep. All construction goes through internal/harness, so the algorithm,
+// topology, input and scheduler names accepted here are exactly the
+// harness registries.
 //
-// Examples:
+// Single-cell examples:
 //
-//	amacsim -algo twophase -topo clique -n 16 -sched random -fack 8
-//	amacsim -algo wpaxos -topo grid -rows 5 -cols 5 -sched maxdelay -fack 4
-//	amacsim -algo floodpaxos -topo starlines -arms 8 -armlen 3 -sched sync
+//	amacsim -algo twophase -topo clique:16 -sched random -fack 8
+//	amacsim -algo wpaxos -topo grid:5x5 -sched maxdelay -fack 4
+//	amacsim -algo floodpaxos -topo starlines:8x3 -sched sync -v
+//
+// Sweep mode expands the cross product of comma-separated axes and runs it
+// on a GOMAXPROCS-wide worker pool, aggregating each (algo, topo, inputs,
+// sched, fack) cell over all seeds:
+//
+//	amacsim -sweep -algos wpaxos,floodpaxos -topos clique:8,grid:3x3 \
+//	        -scheds sync,random -facks 2,8 -seeds 8 -json
+//
+// Sweep grammar:
+//
+//   - -algos, -scheds, -inputs: comma-separated registry names
+//     (algorithms: twophase | wpaxos | floodpaxos | gatherall | benor;
+//     schedulers: sync | random | maxdelay | edgeorder;
+//     inputs: alternating | zeros | ones | half).
+//   - -topos: comma-separated topology specs — clique:N, line:N, ring:N,
+//     star:N, grid:RxC, tree:BxD, starlines:AxL, random:N:P.
+//   - -facks: comma-separated positive integers.
+//   - -seeds: a replication count; seeds 1..k run for every cell.
+//
+// With -json the sweep emits a JSON array of cell objects:
+//
+//	[{"algo": "wpaxos", "topo": "grid:3x3", "inputs": "alternating",
+//	  "sched": "random", "fack": 8, "effective_fack": 8,
+//	  "n": 9, "diameter": 4,
+//	  "runs": 8, "correct": 8, "undecided": 0,
+//	  "decide_time": {"min": …, "median": …, "mean": …, "p95": …, "max": …},
+//	  "decide_per_fack": …,
+//	  "broadcasts": {…}, "deliveries": {…},
+//	  "errors": ["…"]}, …]
+//
+// where decide_time summarizes per-run decision latency over the runs
+// that decided (undecided counts the rest), fack is the requested axis
+// value while effective_fack is the bound the scheduler actually declared
+// (they differ for edgeorder, whose bound is structural) and normalizes
+// decide_per_fack, diameter is the median topology diameter across seeds
+// (seed-dependent only for random:N:P), broadcasts/deliveries summarize
+// MAC-layer message counts, and errors lists the distinct consensus
+// violations seen in the cell (absent when none). Without -json the same
+// cells render as an aligned text table. Exit status 1 when any run
+// violates a consensus property.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
-	"github.com/absmac/absmac/internal/amac"
-	"github.com/absmac/absmac/internal/baseline/floodpaxos"
-	"github.com/absmac/absmac/internal/baseline/gatherall"
 	"github.com/absmac/absmac/internal/consensus"
-	"github.com/absmac/absmac/internal/core/twophase"
-	"github.com/absmac/absmac/internal/core/wpaxos"
-	"github.com/absmac/absmac/internal/ext/benor"
-	"github.com/absmac/absmac/internal/graph"
+	"github.com/absmac/absmac/internal/harness"
 	"github.com/absmac/absmac/internal/sim"
 	"github.com/absmac/absmac/internal/trace"
 )
 
 func main() {
-	algo := flag.String("algo", "wpaxos", "algorithm: twophase | wpaxos | floodpaxos | gatherall | benor")
-	topo := flag.String("topo", "line", "topology: clique | line | ring | star | grid | tree | starlines | random")
-	n := flag.Int("n", 8, "node count (clique/line/ring/star/random)")
-	rows := flag.Int("rows", 4, "grid rows")
-	cols := flag.Int("cols", 4, "grid cols")
-	branch := flag.Int("branch", 2, "tree branching factor")
-	depth := flag.Int("depth", 3, "tree depth")
-	arms := flag.Int("arms", 4, "star-of-lines arms")
-	armLen := flag.Int("armlen", 2, "star-of-lines arm length")
-	p := flag.Float64("p", 0.1, "random graph edge probability")
-	sched := flag.String("sched", "random", "scheduler: sync | random | maxdelay | edgeorder")
+	// Single-cell flags.
+	algo := flag.String("algo", "wpaxos", "algorithm: "+strings.Join(harness.Algorithms(), " | "))
+	topo := flag.String("topo", "line:8", "topology spec, e.g. clique:16, grid:4x4, random:24:0.1")
+	sched := flag.String("sched", "random", "scheduler: "+strings.Join(harness.Schedulers(), " | "))
 	fack := flag.Int64("fack", 4, "scheduler delivery bound Fack")
-	seed := flag.Int64("seed", 1, "random seed (scheduler and random topology)")
-	inputs := flag.String("inputs", "alternating", "inputs: alternating | zeros | ones | half")
-	verbose := flag.Bool("v", false, "print the full event trace")
+	seed := flag.Int64("seed", 1, "random seed (scheduler, algorithm and random topology)")
+	inputs := flag.String("inputs", "alternating",
+		"input pattern (comma-separated list in sweep mode): "+strings.Join(harness.InputPatterns(), " | "))
+	verbose := flag.Bool("v", false, "print the full event trace (single-cell mode only)")
+
+	// Sweep flags.
+	sweep := flag.Bool("sweep", false, "run a scenario sweep instead of a single execution")
+	algos := flag.String("algos", "wpaxos", "sweep: comma-separated algorithms")
+	topos := flag.String("topos", "clique:8,grid:3x3", "sweep: comma-separated topology specs")
+	scheds := flag.String("scheds", "sync,random", "sweep: comma-separated schedulers")
+	facks := flag.String("facks", "4", "sweep: comma-separated Fack values")
+	seeds := flag.Int("seeds", 8, "sweep: seeds 1..k per cell")
+	workers := flag.Int("workers", 0, "sweep: worker pool width (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "sweep: emit JSON instead of a text table")
 	flag.Parse()
 
-	g, err := buildGraph(*topo, *n, *rows, *cols, *branch, *depth, *arms, *armLen, *p, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "amacsim:", err)
-		os.Exit(2)
+	// Flags have no effect outside their mode; fail loudly rather than
+	// let the user attribute results to a flag that was dropped.
+	singleOnly := map[string]bool{"algo": true, "topo": true, "sched": true, "fack": true, "seed": true, "v": true}
+	sweepOnly := map[string]bool{"algos": true, "topos": true, "scheds": true, "facks": true, "seeds": true, "workers": true, "json": true}
+	var stray []string
+	flag.Visit(func(f *flag.Flag) {
+		if (*sweep && singleOnly[f.Name]) || (!*sweep && sweepOnly[f.Name]) {
+			stray = append(stray, "-"+f.Name)
+		}
+	})
+	if len(stray) > 0 {
+		if *sweep {
+			os.Exit(fail(fmt.Errorf("%s not allowed in sweep mode; use -algos/-topos/-scheds/-facks/-seeds", strings.Join(stray, ", "))))
+		}
+		os.Exit(fail(fmt.Errorf("%s only apply with -sweep", strings.Join(stray, ", "))))
 	}
-	ins, err := buildInputs(*inputs, g.N())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "amacsim:", err)
-		os.Exit(2)
+	if *sweep {
+		os.Exit(runSweep(*algos, *topos, *scheds, *facks, *inputs, *seeds, *workers, *jsonOut))
 	}
-	factory, err := buildFactory(*algo, g.N(), *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "amacsim:", err)
-		os.Exit(2)
-	}
-	scheduler, err := buildScheduler(*sched, *fack, *seed, g)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "amacsim:", err)
-		os.Exit(2)
-	}
+	os.Exit(runSingle(*algo, *topo, *sched, *inputs, *fack, *seed, *verbose))
+}
 
-	cfg := sim.Config{
-		Graph:           g,
-		Inputs:          ins,
-		Factory:         factory,
-		Scheduler:       scheduler,
-		StopWhenDecided: true,
-		Audit:           true,
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "amacsim:", err)
+	return 2
+}
+
+func runSingle(algo, topo, sched, inputs string, fack, seed int64, verbose bool) int {
+	t, err := harness.ParseTopo(topo)
+	if err != nil {
+		return fail(err)
+	}
+	sc := harness.Scenario{Algo: algo, Topo: t, Inputs: inputs, Sched: sched, Fack: fack, Seed: seed}
+	cfg, err := sc.Config()
+	if err != nil {
+		return fail(err)
 	}
 	var rec *trace.Recorder
-	if *verbose {
+	if verbose {
 		rec = trace.New(0)
 		cfg.Observer = rec.Observer()
 	}
 	res := sim.Run(cfg)
-	rep := consensus.Check(ins, res)
+	rep := consensus.Check(cfg.Inputs, res)
 	if rec != nil {
 		if err := rec.Dump(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "amacsim:", err)
@@ -87,103 +137,85 @@ func main() {
 		fmt.Println("trace summary:", rec.Summary())
 	}
 
-	fmt.Printf("algorithm   %s\n", *algo)
-	fmt.Printf("topology    %s (n=%d, m=%d, diameter=%d)\n", *topo, g.N(), g.M(), g.Diameter())
-	fmt.Printf("scheduler   %s (Fack=%d, seed=%d)\n", *sched, *fack, *seed)
+	g := cfg.Graph
+	// Structural schedulers (edgeorder) override the requested bound, so
+	// report and normalize by what the scheduler actually declared.
+	fack = cfg.Scheduler.Fack()
+	fmt.Printf("algorithm   %s\n", algo)
+	fmt.Printf("topology    %s (n=%d, m=%d, diameter=%d)\n", t, g.N(), g.M(), g.Diameter())
+	fmt.Printf("scheduler   %s (Fack=%d, seed=%d)\n", sched, fack, seed)
 	fmt.Printf("decided     %v\n", res.AllDecided())
 	if rep.SomeoneDecided {
 		fmt.Printf("value       %d\n", rep.Value)
 	}
-	fmt.Printf("decide time %d (%.2f x Fack, %.2f x D*Fack)\n", res.MaxDecideTime,
-		float64(res.MaxDecideTime)/float64(*fack),
-		float64(res.MaxDecideTime)/float64(*fack*int64(g.Diameter()+1)))
+	if res.MaxDecideTime >= 0 {
+		fmt.Printf("decide time %d (%.2f x Fack, %.2f x D*Fack)\n", res.MaxDecideTime,
+			float64(res.MaxDecideTime)/float64(fack),
+			float64(res.MaxDecideTime)/float64(fack*int64(g.Diameter()+1)))
+	} else {
+		fmt.Println("decide time n/a (nobody decided)")
+	}
 	fmt.Printf("traffic     %d broadcasts, %d deliveries, %d discards\n", res.Broadcasts, res.Deliveries, res.Discards)
 	fmt.Printf("agreement   %v\nvalidity    %v\ntermination %v\n", rep.Agreement, rep.Validity, rep.Termination)
 	if len(rep.Errors) > 0 {
 		fmt.Printf("errors      %v\n", rep.Errors)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func buildGraph(topo string, n, rows, cols, branch, depth, arms, armLen int, p float64, seed int64) (*graph.Graph, error) {
-	switch topo {
-	case "clique":
-		return graph.Clique(n), nil
-	case "line":
-		return graph.Line(n), nil
-	case "ring":
-		return graph.Ring(n), nil
-	case "star":
-		return graph.Star(n), nil
-	case "grid":
-		return graph.Grid(rows, cols), nil
-	case "tree":
-		return graph.BalancedTree(branch, depth), nil
-	case "starlines":
-		return graph.StarOfLines(arms, armLen), nil
-	case "random":
-		return graph.RandomConnected(n, p, seed), nil
-	default:
-		return nil, fmt.Errorf("unknown topology %q", topo)
+func runSweep(algos, topos, scheds, facks, inputs string, seeds, workers int, jsonOut bool) int {
+	grid := harness.Grid{
+		Algos:  splitList(algos),
+		Scheds: splitList(scheds),
+		Inputs: splitList(inputs),
 	}
+	for _, s := range splitList(topos) {
+		t, err := harness.ParseTopo(s)
+		if err != nil {
+			return fail(err)
+		}
+		grid.Topos = append(grid.Topos, t)
+	}
+	for _, s := range splitList(facks) {
+		f, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return fail(fmt.Errorf("bad -facks entry %q: %w", s, err))
+		}
+		grid.Facks = append(grid.Facks, f)
+	}
+	for s := int64(1); s <= int64(seeds); s++ {
+		grid.Seeds = append(grid.Seeds, s)
+	}
+
+	scs, err := grid.Scenarios()
+	if err != nil {
+		return fail(err)
+	}
+	cells, err := harness.Sweep(scs, workers)
+	if err != nil {
+		return fail(err)
+	}
+	if !jsonOut {
+		fmt.Printf("%d scenarios, %d cells\n\n", len(scs), len(cells))
+	}
+	bad, err := harness.Report(os.Stdout, cells, jsonOut)
+	if err != nil {
+		return fail(err)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "amacsim: %d cell(s) contain consensus violations\n", bad)
+		return 1
+	}
+	return 0
 }
 
-func buildInputs(kind string, n int) ([]amac.Value, error) {
-	ins := make([]amac.Value, n)
-	switch kind {
-	case "alternating":
-		for i := range ins {
-			ins[i] = amac.Value(i % 2)
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
 		}
-	case "zeros":
-	case "ones":
-		for i := range ins {
-			ins[i] = 1
-		}
-	case "half":
-		for i := n / 2; i < n; i++ {
-			ins[i] = 1
-		}
-	default:
-		return nil, fmt.Errorf("unknown input pattern %q", kind)
 	}
-	return ins, nil
-}
-
-func buildFactory(algo string, n int, seed int64) (amac.Factory, error) {
-	switch algo {
-	case "twophase":
-		return twophase.Factory, nil
-	case "wpaxos":
-		return wpaxos.NewFactory(wpaxos.Config{N: n}), nil
-	case "floodpaxos":
-		return floodpaxos.NewFactory(n), nil
-	case "gatherall":
-		return gatherall.NewFactory(n), nil
-	case "benor":
-		return benor.NewFactory(benor.Config{N: n, F: (n - 1) / 2, Seed: seed}), nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", algo)
-	}
-}
-
-func buildScheduler(kind string, fack, seed int64, g *graph.Graph) (sim.Scheduler, error) {
-	switch kind {
-	case "sync":
-		return sim.Synchronous{Round: fack}, nil
-	case "random":
-		return sim.NewRandom(fack, seed), nil
-	case "maxdelay":
-		return sim.MaxDelay{F: fack}, nil
-	case "edgeorder":
-		maxDeg := 0
-		for u := 0; u < g.N(); u++ {
-			if d := g.Degree(u); d > maxDeg {
-				maxDeg = d
-			}
-		}
-		return sim.EdgeOrder{MaxDegree: maxDeg}, nil
-	default:
-		return nil, fmt.Errorf("unknown scheduler %q", kind)
-	}
+	return out
 }

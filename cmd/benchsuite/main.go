@@ -1,36 +1,71 @@
-// Command benchsuite regenerates every experiment table in EXPERIMENTS.md:
-// one experiment per theorem/figure/complexity claim of the paper (see
-// DESIGN.md's experiment index).
+// Command benchsuite regenerates every experiment table in EXPERIMENTS.md
+// (one experiment per theorem/figure/complexity claim of the paper; see
+// DESIGN.md's experiment index) and, with -grid, runs the canonical
+// scenario grid — every registered algorithm crossed with the topology,
+// scheduler and Fack axes — in parallel through internal/harness.
 //
 // Usage:
 //
-//	benchsuite [-only E6] [-q]
+//	benchsuite [-only E6] [-q]            experiments
+//	benchsuite -grid [-json] [-workers N] full scenario grid
 //
-// Exit status is non-zero when any experiment fails its shape check.
+// Exit status is non-zero when any experiment fails its shape check or any
+// grid cell violates a consensus property.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/absmac/absmac/internal/exp"
+	"github.com/absmac/absmac/internal/harness"
 )
 
 func main() {
 	only := flag.String("only", "", "run a single experiment by id (e.g. E6)")
 	quiet := flag.Bool("q", false, "print only the summary line per experiment")
+	grid := flag.Bool("grid", false, "run the canonical scenario grid instead of the experiments")
+	jsonOut := flag.Bool("json", false, "grid: emit JSON instead of a text table")
+	workers := flag.Int("workers", 0, "grid: worker pool width (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	// Flags have no effect outside their mode; fail loudly rather than
+	// silently drop them.
+	expOnly := map[string]bool{"only": true, "q": true}
+	gridOnly := map[string]bool{"json": true, "workers": true}
+	var stray []string
+	flag.Visit(func(f *flag.Flag) {
+		if (*grid && expOnly[f.Name]) || (!*grid && gridOnly[f.Name]) {
+			stray = append(stray, "-"+f.Name)
+		}
+	})
+	if len(stray) > 0 {
+		if *grid {
+			fmt.Fprintf(os.Stderr, "benchsuite: %s ignored with -grid\n", strings.Join(stray, ", "))
+		} else {
+			fmt.Fprintf(os.Stderr, "benchsuite: %s only apply with -grid\n", strings.Join(stray, ", "))
+		}
+		os.Exit(2)
+	}
+
+	if *grid {
+		os.Exit(runGrid(*workers, *jsonOut))
+	}
+	os.Exit(runExperiments(*only, *quiet))
+}
+
+func runExperiments(only string, quiet bool) int {
 	experiments := exp.All()
 	failed := 0
 	ran := 0
 	for _, e := range experiments {
-		if *only != "" && e.ID != *only {
+		if only != "" && e.ID != only {
 			continue
 		}
 		ran++
-		if *quiet {
+		if quiet {
 			status := "PASS"
 			if !e.OK {
 				status = "FAIL"
@@ -44,11 +79,75 @@ func main() {
 		}
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "benchsuite: no experiment matches -only=%s\n", *only)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "benchsuite: no experiment matches -only=%s\n", only)
+		return 2
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "benchsuite: %d experiment(s) failed their shape checks\n", failed)
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// canonicalGrids returns the full sweep: every algorithm on the single-hop
+// topology, and the multihop-capable algorithms across the topology zoo.
+// (Two-phase is a single-hop algorithm — Theorem 4.1 assumes a clique — so
+// it does not appear in the multihop group.)
+func canonicalGrids() []harness.Grid {
+	seeds := make([]int64, 8)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	singlehop := harness.Grid{
+		Algos:  []string{"twophase", "wpaxos", "floodpaxos", "gatherall", "benor"},
+		Topos:  []harness.Topo{{Kind: "clique", N: 4}, {Kind: "clique", N: 8}},
+		Scheds: []string{"sync", "random", "maxdelay"},
+		Facks:  []int64{2, 8},
+		Seeds:  seeds,
+	}
+	multihop := harness.Grid{
+		Algos: []string{"wpaxos", "floodpaxos", "gatherall"},
+		Topos: []harness.Topo{
+			{Kind: "line", N: 8},
+			{Kind: "ring", N: 9},
+			{Kind: "grid", Rows: 4, Cols: 4},
+			{Kind: "tree", Branch: 2, Depth: 3},
+			{Kind: "starlines", Arms: 4, ArmLen: 2},
+			{Kind: "random", N: 16, P: 0.15},
+		},
+		Scheds: []string{"sync", "random", "maxdelay"},
+		Facks:  []int64{2, 8},
+		Seeds:  seeds,
+	}
+	return []harness.Grid{singlehop, multihop}
+}
+
+func runGrid(workers int, jsonOut bool) int {
+	var scs []harness.Scenario
+	for _, g := range canonicalGrids() {
+		expanded, err := g.Scenarios()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsuite:", err)
+			return 2
+		}
+		scs = append(scs, expanded...)
+	}
+	cells, err := harness.Sweep(scs, workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		return 2
+	}
+	if !jsonOut {
+		fmt.Printf("canonical grid: %d scenarios, %d cells\n\n", len(scs), len(cells))
+	}
+	bad, err := harness.Report(os.Stdout, cells, jsonOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		return 2
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "benchsuite: %d cell(s) contain consensus violations\n", bad)
+		return 1
+	}
+	return 0
 }

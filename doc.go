@@ -12,4 +12,12 @@
 // The root package carries no code — the library lives under internal/
 // (this is a research artifact: the stable entry points are the example
 // programs, the cmd/ tools, and the benchmarks in bench_test.go).
+//
+// internal/harness is the scenario entry point: it names algorithms,
+// topologies, input patterns and schedulers in registries, assembles them
+// into runnable Scenario values, and sweeps scenario grids in parallel
+// with per-cell latency and message statistics. cmd/amacsim (single cell
+// and -sweep), cmd/benchsuite -grid and examples/quickstart are all built
+// on it; see cmd/amacsim's package comment for the sweep grammar and JSON
+// schema.
 package absmac

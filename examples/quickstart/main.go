@@ -2,6 +2,12 @@
 // paper's two-phase algorithm (Algorithm 1), on the deterministic
 // simulator, under a randomized message scheduler.
 //
+// The scenario is assembled by internal/harness — the same named
+// registries behind cmd/amacsim — so this example stays in lockstep with
+// the CLIs: `amacsim -algo twophase -topo clique:8 -sched random -fack 10
+// -seed 42` runs the same execution (modulo the custom input assignment
+// below).
+//
 // Run with:
 //
 //	go run ./examples/quickstart
@@ -9,12 +15,10 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"github.com/absmac/absmac/internal/amac"
-	"github.com/absmac/absmac/internal/consensus"
-	"github.com/absmac/absmac/internal/core/twophase"
-	"github.com/absmac/absmac/internal/graph"
-	"github.com/absmac/absmac/internal/sim"
+	"github.com/absmac/absmac/internal/harness"
 )
 
 func main() {
@@ -23,18 +27,21 @@ func main() {
 	inputs := make([]amac.Value, n)
 	inputs[1], inputs[4], inputs[6] = 1, 1, 1
 
-	res := sim.Run(sim.Config{
-		Graph:   graph.Clique(n),
-		Inputs:  inputs,
-		Factory: twophase.Factory, // no knowledge of n required!
+	out, err := harness.Scenario{
+		Algo: "twophase", // no knowledge of n required!
+		Topo: harness.Topo{Kind: "clique", N: n},
 		// The scheduler is the adversary: deliveries and acks land at
 		// arbitrary times within Fack=10 of each broadcast.
-		Scheduler:       sim.NewRandom(10, 42),
-		StopWhenDecided: true,
-		Audit:           true, // enforce the O(1)-ids-per-message model bound
-	})
+		Sched:       "random",
+		Fack:        10,
+		Seed:        42,
+		InputValues: inputs,
+	}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	rep := consensus.Check(inputs, res)
+	res, rep := out.Result, out.Report
 	fmt.Printf("inputs:       %v\n", inputs)
 	fmt.Printf("all decided:  %v\n", res.AllDecided())
 	fmt.Printf("agreed value: %d\n", rep.Value)

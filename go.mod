@@ -1,0 +1,3 @@
+module github.com/absmac/absmac
+
+go 1.24

@@ -114,3 +114,19 @@ func AuditIDCount(m Message) error {
 	}
 	return nil
 }
+
+// ValidateBinaryInputs checks a binary-consensus input assignment: at least
+// one node, every value 0 or 1. The paper studies binary consensus
+// throughout, so the harness applies this to every problem instance it
+// constructs.
+func ValidateBinaryInputs(inputs []Value) error {
+	if len(inputs) == 0 {
+		return fmt.Errorf("amac: empty input assignment")
+	}
+	for i, v := range inputs {
+		if v != 0 && v != 1 {
+			return fmt.Errorf("amac: input %d of node %d is not binary", v, i)
+		}
+	}
+	return nil
+}

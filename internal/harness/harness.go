@@ -1,0 +1,246 @@
+// Package harness assembles and runs simulator scenarios by name.
+//
+// A Scenario names everything one execution needs — algorithm, topology,
+// input pattern, scheduler, Fack, seed — and the package holds the
+// registries that map those names to constructors. The CLIs (cmd/amacsim,
+// cmd/benchsuite) and the examples build on these registries instead of
+// hand-rolling their own switch statements, so a new algorithm, topology
+// family or scheduler registered here becomes available everywhere at once.
+//
+// On top of single scenarios, sweep.go expands a Grid (the cross product of
+// named axes) into scenarios and runs them on a GOMAXPROCS-wide worker
+// pool, aggregating per-cell decision-latency and message-count
+// distributions. See cmd/amacsim's package comment for the sweep grammar.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/absmac/absmac/internal/amac"
+	"github.com/absmac/absmac/internal/baseline/floodpaxos"
+	"github.com/absmac/absmac/internal/baseline/gatherall"
+	"github.com/absmac/absmac/internal/consensus"
+	"github.com/absmac/absmac/internal/core/twophase"
+	"github.com/absmac/absmac/internal/core/wpaxos"
+	"github.com/absmac/absmac/internal/ext/benor"
+	"github.com/absmac/absmac/internal/graph"
+	"github.com/absmac/absmac/internal/sim"
+)
+
+// Scenario names one execution: which algorithm, on which topology, with
+// which inputs, under which scheduler. Scenarios are plain values — they
+// marshal to JSON, compare with ==, and rebuild identical executions, which
+// is what makes sweeps reproducible.
+type Scenario struct {
+	// Algo is a registered algorithm name (see Algorithms).
+	Algo string `json:"algo"`
+	// Topo describes the topology (see ParseTopo for the string grammar).
+	Topo Topo `json:"topo"`
+	// Inputs is a registered input-pattern name (see InputPatterns).
+	// Empty means "alternating".
+	Inputs string `json:"inputs,omitempty"`
+	// Sched is a registered scheduler name (see Schedulers).
+	Sched string `json:"sched"`
+	// Fack is the scheduler's delivery bound.
+	Fack int64 `json:"fack"`
+	// Seed feeds the scheduler, the algorithm (when randomized) and the
+	// random topology family.
+	Seed int64 `json:"seed"`
+	// MaxEvents optionally caps the execution (0 means the simulator
+	// default). Sweeps set it so one non-quiescent cell cannot stall the
+	// whole grid.
+	MaxEvents int `json:"-"`
+	// InputValues optionally overrides Inputs with an explicit
+	// assignment (length must match the topology's node count).
+	InputValues []amac.Value `json:"-"`
+}
+
+// Outcome is the result of running one Scenario: the raw simulator result
+// plus the consensus-property report and the built topology's shape.
+type Outcome struct {
+	Scenario Scenario
+	Result   *sim.Result
+	Report   *consensus.Report
+	// N and Diameter describe the topology the run was built on (they
+	// vary with the seed for the random family).
+	N        int
+	Diameter int
+	// Fack is the delivery bound the scheduler actually declared, which
+	// differs from Scenario.Fack for schedulers with a structural bound
+	// (edgeorder declares MaxDegree+1 and ignores the requested value).
+	Fack int64
+}
+
+// OK reports whether the run decided everywhere and satisfied agreement,
+// validity and termination.
+func (o *Outcome) OK() bool { return o.Report.OK() }
+
+// --- algorithm registry ---
+
+type algoCtor func(n int, seed int64) amac.Factory
+
+var algorithms = map[string]algoCtor{
+	"twophase":   func(int, int64) amac.Factory { return twophase.Factory },
+	"wpaxos":     func(n int, _ int64) amac.Factory { return wpaxos.NewFactory(wpaxos.Config{N: n}) },
+	"floodpaxos": func(n int, _ int64) amac.Factory { return floodpaxos.NewFactory(n) },
+	"gatherall":  func(n int, _ int64) amac.Factory { return gatherall.NewFactory(n) },
+	"benor": func(n int, seed int64) amac.Factory {
+		return benor.NewFactory(benor.Config{N: n, F: (n - 1) / 2, Seed: seed})
+	},
+}
+
+// Algorithms returns the registered algorithm names, sorted.
+func Algorithms() []string { return sortedKeys(algorithms) }
+
+// NewFactory builds the named algorithm's factory for an n-node execution.
+func NewFactory(algo string, n int, seed int64) (amac.Factory, error) {
+	ctor, ok := algorithms[algo]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown algorithm %q (have %v)", algo, Algorithms())
+	}
+	return ctor(n, seed), nil
+}
+
+// --- scheduler registry ---
+
+type schedCtor func(fack, seed int64, g *graph.Graph) sim.Scheduler
+
+var schedulers = map[string]schedCtor{
+	"sync":     func(fack, _ int64, _ *graph.Graph) sim.Scheduler { return sim.Synchronous{Round: fack} },
+	"random":   func(fack, seed int64, _ *graph.Graph) sim.Scheduler { return sim.NewRandom(fack, seed) },
+	"maxdelay": func(fack, _ int64, _ *graph.Graph) sim.Scheduler { return sim.MaxDelay{F: fack} },
+	"edgeorder": func(_, _ int64, g *graph.Graph) sim.Scheduler {
+		maxDeg := 0
+		for u := 0; u < g.N(); u++ {
+			if d := g.Degree(u); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		return sim.EdgeOrder{MaxDegree: maxDeg}
+	},
+}
+
+// Schedulers returns the registered scheduler names, sorted.
+func Schedulers() []string { return sortedKeys(schedulers) }
+
+// NewScheduler builds the named scheduler. The graph is consulted by
+// degree-driven schedulers (edgeorder); fack is ignored by schedulers whose
+// bound is structural.
+func NewScheduler(name string, fack, seed int64, g *graph.Graph) (sim.Scheduler, error) {
+	ctor, ok := schedulers[name]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown scheduler %q (have %v)", name, Schedulers())
+	}
+	if fack <= 0 {
+		return nil, fmt.Errorf("harness: Fack=%d, need > 0", fack)
+	}
+	return ctor(fack, seed, g), nil
+}
+
+// --- input-pattern registry ---
+
+var inputPatterns = map[string]func(n int) []amac.Value{
+	"alternating": func(n int) []amac.Value {
+		ins := make([]amac.Value, n)
+		for i := range ins {
+			ins[i] = amac.Value(i % 2)
+		}
+		return ins
+	},
+	"zeros": func(n int) []amac.Value { return make([]amac.Value, n) },
+	"ones": func(n int) []amac.Value {
+		ins := make([]amac.Value, n)
+		for i := range ins {
+			ins[i] = 1
+		}
+		return ins
+	},
+	"half": func(n int) []amac.Value {
+		ins := make([]amac.Value, n)
+		for i := n / 2; i < n; i++ {
+			ins[i] = 1
+		}
+		return ins
+	},
+}
+
+// InputPatterns returns the registered input-pattern names, sorted.
+func InputPatterns() []string { return sortedKeys(inputPatterns) }
+
+// NewInputs builds the named input assignment for n nodes.
+func NewInputs(pattern string, n int) ([]amac.Value, error) {
+	if pattern == "" {
+		pattern = "alternating"
+	}
+	mk, ok := inputPatterns[pattern]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown input pattern %q (have %v)", pattern, InputPatterns())
+	}
+	return mk(n), nil
+}
+
+// Config assembles the scenario into a validated simulator configuration.
+func (s Scenario) Config() (sim.Config, error) {
+	g, err := s.Topo.Build(s.Seed)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	ins := s.InputValues
+	if ins == nil {
+		ins, err = NewInputs(s.Inputs, g.N())
+		if err != nil {
+			return sim.Config{}, err
+		}
+	} else if len(ins) != g.N() {
+		return sim.Config{}, fmt.Errorf("harness: %d input values for %d nodes", len(ins), g.N())
+	}
+	if err := amac.ValidateBinaryInputs(ins); err != nil {
+		return sim.Config{}, err
+	}
+	factory, err := NewFactory(s.Algo, g.N(), s.Seed)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	scheduler, err := NewScheduler(s.Sched, s.Fack, s.Seed, g)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	// Every Validate check is already guaranteed by the construction
+	// above (and sim.Run re-validates), so the config is returned as is.
+	return sim.Config{
+		Graph:           g,
+		Inputs:          ins,
+		Factory:         factory,
+		Scheduler:       scheduler,
+		MaxEvents:       s.MaxEvents,
+		StopWhenDecided: true,
+		Audit:           true,
+	}, nil
+}
+
+// Run executes the scenario and checks the consensus properties.
+func (s Scenario) Run() (*Outcome, error) {
+	cfg, err := s.Config()
+	if err != nil {
+		return nil, err
+	}
+	res := sim.Run(cfg)
+	return &Outcome{
+		Scenario: s,
+		Result:   res,
+		Report:   consensus.Check(cfg.Inputs, res),
+		N:        cfg.Graph.N(),
+		Diameter: cfg.Graph.Diameter(),
+		Fack:     cfg.Scheduler.Fack(),
+	}, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/absmac/absmac/internal/amac"
+)
+
+func TestRegistriesCoverSeedNames(t *testing.T) {
+	for _, algo := range []string{"twophase", "wpaxos", "floodpaxos", "gatherall", "benor"} {
+		if _, err := NewFactory(algo, 4, 1); err != nil {
+			t.Errorf("algorithm %q not registered: %v", algo, err)
+		}
+	}
+	for _, sched := range []string{"sync", "random", "maxdelay", "edgeorder"} {
+		tp := Topo{Kind: "clique", N: 4}
+		g, err := tp.Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := NewScheduler(sched, 4, 1, g); err != nil {
+			t.Errorf("scheduler %q not registered: %v", sched, err)
+		}
+	}
+	for _, pattern := range []string{"alternating", "zeros", "ones", "half"} {
+		if _, err := NewInputs(pattern, 4); err != nil {
+			t.Errorf("input pattern %q not registered: %v", pattern, err)
+		}
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	if _, err := NewFactory("nope", 4, 1); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	g, _ := Topo{Kind: "clique", N: 4}.Build(1)
+	if _, err := NewScheduler("nope", 4, 1, g); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	if _, err := NewScheduler("random", 0, 1, g); err == nil {
+		t.Error("Fack=0 accepted")
+	}
+	if _, err := NewInputs("nope", 4); err == nil {
+		t.Error("unknown input pattern accepted")
+	}
+}
+
+func TestInputPatterns(t *testing.T) {
+	cases := map[string][]amac.Value{
+		"alternating": {0, 1, 0, 1},
+		"zeros":       {0, 0, 0, 0},
+		"ones":        {1, 1, 1, 1},
+		"half":        {0, 0, 1, 1},
+	}
+	for pattern, want := range cases {
+		got, err := NewInputs(pattern, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("pattern %q: got %v, want %v", pattern, got, want)
+		}
+	}
+	// The empty pattern defaults to alternating.
+	got, err := NewInputs("", 4)
+	if err != nil || !reflect.DeepEqual(got, cases["alternating"]) {
+		t.Errorf("empty pattern: got %v, %v", got, err)
+	}
+}
+
+func TestParseTopoRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"clique:8", "line:5", "ring:6", "star:7",
+		"grid:3x4", "tree:2x3", "starlines:4x2", "random:12:0.1",
+	} {
+		tp, err := ParseTopo(spec)
+		if err != nil {
+			t.Fatalf("ParseTopo(%q): %v", spec, err)
+		}
+		if tp.String() != spec {
+			t.Errorf("round trip %q -> %q", spec, tp.String())
+		}
+		if _, err := tp.Build(1); err != nil {
+			t.Errorf("Build(%q): %v", spec, err)
+		}
+	}
+}
+
+func TestParseTopoErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "clique", "clique:", "clique:x", "clique:3:4",
+		"grid:3", "grid:3x", "grid:ax2", "tree:22", "random:5", "random:5:x", "mesh:4",
+	} {
+		if _, err := ParseTopo(spec); err == nil {
+			t.Errorf("ParseTopo(%q) accepted", spec)
+		}
+	}
+}
+
+func TestTopoBuildErrors(t *testing.T) {
+	for _, tp := range []Topo{
+		{Kind: "clique", N: 0},
+		{Kind: "ring", N: 2},
+		{Kind: "grid", Rows: 0, Cols: 3},
+		{Kind: "tree", Branch: 0, Depth: 2},
+		{Kind: "starlines", Arms: 0, ArmLen: 1},
+		{Kind: "random", N: 4, P: 1.5},
+		{Kind: "nope", N: 4},
+	} {
+		if _, err := tp.Build(1); err == nil {
+			t.Errorf("Build(%+v) accepted", tp)
+		}
+	}
+}
+
+func TestTopoJSONTextForm(t *testing.T) {
+	tp := Topo{Kind: "grid", Rows: 3, Cols: 4}
+	b, err := tp.MarshalText()
+	if err != nil || string(b) != "grid:3x4" {
+		t.Fatalf("MarshalText: %q, %v", b, err)
+	}
+	var back Topo
+	if err := back.UnmarshalText(b); err != nil || back != tp {
+		t.Fatalf("UnmarshalText: %+v, %v", back, err)
+	}
+	if err := back.UnmarshalText([]byte("junk")); err == nil {
+		t.Fatal("UnmarshalText accepted junk")
+	}
+}
+
+func TestScenarioConfigErrors(t *testing.T) {
+	base := Scenario{Algo: "wpaxos", Topo: Topo{Kind: "clique", N: 4}, Sched: "sync", Fack: 4, Seed: 1}
+	bad := []Scenario{
+		func() Scenario { s := base; s.Algo = "nope"; return s }(),
+		func() Scenario { s := base; s.Sched = "nope"; return s }(),
+		func() Scenario { s := base; s.Fack = 0; return s }(),
+		func() Scenario { s := base; s.Topo = Topo{Kind: "nope"}; return s }(),
+		func() Scenario { s := base; s.Inputs = "nope"; return s }(),
+		func() Scenario { s := base; s.InputValues = []amac.Value{0, 1}; return s }(),
+		func() Scenario { s := base; s.InputValues = []amac.Value{0, 1, 2, 1}; return s }(),
+	}
+	for i, s := range bad {
+		if _, err := s.Config(); err == nil {
+			t.Errorf("case %d: invalid scenario accepted", i)
+		}
+	}
+	if _, err := base.Config(); err != nil {
+		t.Fatalf("base scenario rejected: %v", err)
+	}
+}
+
+// TestScenarioDeterminism is the harness round-trip guard: the same
+// Scenario must yield identical results across two independent runs —
+// every timing and message count, not just the decision.
+func TestScenarioDeterminism(t *testing.T) {
+	scenarios := []Scenario{
+		{Algo: "twophase", Topo: Topo{Kind: "clique", N: 6}, Sched: "random", Fack: 7, Seed: 3},
+		{Algo: "wpaxos", Topo: Topo{Kind: "grid", Rows: 3, Cols: 3}, Sched: "random", Fack: 4, Seed: 9},
+		{Algo: "benor", Topo: Topo{Kind: "clique", N: 5}, Sched: "random", Fack: 3, Seed: 11},
+		{Algo: "floodpaxos", Topo: Topo{Kind: "random", N: 10, P: 0.2}, Sched: "maxdelay", Fack: 5, Seed: 4},
+	}
+	for _, sc := range scenarios {
+		a, err := sc.Run()
+		if err != nil {
+			t.Fatalf("%s on %s: %v", sc.Algo, sc.Topo, err)
+		}
+		b, err := sc.Run()
+		if err != nil {
+			t.Fatalf("%s on %s: %v", sc.Algo, sc.Topo, err)
+		}
+		if !a.OK() {
+			t.Errorf("%s on %s: consensus violated: %v", sc.Algo, sc.Topo, a.Report.Errors)
+		}
+		if !reflect.DeepEqual(a.Result, b.Result) {
+			t.Errorf("%s on %s seed %d: two runs of the same scenario differ", sc.Algo, sc.Topo, sc.Seed)
+		}
+	}
+}

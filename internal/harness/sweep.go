@@ -1,0 +1,277 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"github.com/absmac/absmac/internal/stats"
+)
+
+// Grid is the cross product of scenario axes. Seeds vary fastest and are
+// the replication axis: all seeds of one (algo, topo, sched, fack, inputs)
+// combination aggregate into a single Cell.
+type Grid struct {
+	Algos  []string
+	Topos  []Topo
+	Scheds []string
+	Facks  []int64
+	Inputs []string
+	Seeds  []int64
+	// MaxEvents caps each execution; 0 means DefaultSweepMaxEvents, so
+	// one non-quiescent cell cannot stall the whole grid.
+	MaxEvents int
+}
+
+// DefaultSweepMaxEvents bounds each sweep execution when Grid.MaxEvents is
+// zero — tighter than the simulator's own default so a non-quiescent cell
+// fails fast (as a termination violation) instead of stalling the grid.
+const DefaultSweepMaxEvents = 5_000_000
+
+// Scenarios expands the grid. Empty Inputs defaults to {"alternating"};
+// every other axis must be non-empty.
+func (g Grid) Scenarios() ([]Scenario, error) {
+	inputs := g.Inputs
+	if len(inputs) == 0 {
+		inputs = []string{"alternating"}
+	}
+	for name, axis := range map[string]int{
+		"algos": len(g.Algos), "topos": len(g.Topos),
+		"scheds": len(g.Scheds), "facks": len(g.Facks), "seeds": len(g.Seeds),
+	} {
+		if axis == 0 {
+			return nil, fmt.Errorf("harness: sweep grid has an empty %s axis", name)
+		}
+	}
+	maxEvents := g.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = DefaultSweepMaxEvents
+	}
+	var scs []Scenario
+	for _, algo := range g.Algos {
+		for _, topo := range g.Topos {
+			for _, in := range inputs {
+				for _, sched := range g.Scheds {
+					for _, fack := range g.Facks {
+						for _, seed := range g.Seeds {
+							scs = append(scs, Scenario{
+								Algo: algo, Topo: topo, Inputs: in,
+								Sched: sched, Fack: fack, Seed: seed,
+								MaxEvents: maxEvents,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return scs, nil
+}
+
+// Summary is a five-number summary of one per-cell sample.
+type Summary struct {
+	Min    float64 `json:"min"`
+	Median float64 `json:"median"`
+	Mean   float64 `json:"mean"`
+	P95    float64 `json:"p95"`
+	Max    float64 `json:"max"`
+}
+
+func summarize(xs []float64) Summary {
+	return Summary{
+		Min:    stats.Min(xs),
+		Median: stats.Median(xs),
+		Mean:   stats.Mean(xs),
+		P95:    stats.Percentile(xs, 95),
+		Max:    stats.Max(xs),
+	}
+}
+
+// Cell aggregates every seed of one scenario combination.
+type Cell struct {
+	Algo   string `json:"algo"`
+	Topo   string `json:"topo"`
+	Inputs string `json:"inputs"`
+	Sched  string `json:"sched"`
+	// Fack is the requested grid-axis value; EffectiveFack is the median
+	// bound the scheduler actually declared. They differ for schedulers
+	// with a structural bound (edgeorder declares MaxDegree+1), which is
+	// why DecidePerFack normalizes by EffectiveFack.
+	Fack          int64 `json:"fack"`
+	EffectiveFack int64 `json:"effective_fack"`
+
+	// N is the node count; Diameter is the median topology diameter
+	// across the cell's seeds (both are seed-independent for every
+	// family except random, where per-seed graphs differ in shape).
+	N        int `json:"n"`
+	Diameter int `json:"diameter"`
+
+	// Runs counts executions; Correct counts those satisfying agreement,
+	// validity and termination; Undecided counts runs where no node
+	// decided (those are excluded from the Decide summary).
+	Runs      int `json:"runs"`
+	Correct   int `json:"correct"`
+	Undecided int `json:"undecided"`
+
+	// Decide summarizes the decision latency (max decide time per run)
+	// over the runs that decided; DecidePerFack normalizes its median by
+	// EffectiveFack. Both are zero when every run was undecided.
+	Decide        Summary `json:"decide_time"`
+	DecidePerFack float64 `json:"decide_per_fack"`
+
+	// Broadcasts and Deliveries summarize MAC-layer message counts.
+	Broadcasts Summary `json:"broadcasts"`
+	Deliveries Summary `json:"deliveries"`
+
+	// Errors lists distinct consensus violations observed in the cell.
+	Errors []string `json:"errors,omitempty"`
+}
+
+func (c *Cell) key() string {
+	return fmt.Sprintf("%s|%s|%s|%s|%d", c.Algo, c.Topo, c.Inputs, c.Sched, c.Fack)
+}
+
+// OK reports whether every run in the cell was correct.
+func (c *Cell) OK() bool { return c.Correct == c.Runs }
+
+// Sweep runs every scenario on a worker pool of the given width (<= 0
+// means GOMAXPROCS) and aggregates outcomes into cells, one per distinct
+// (algo, topo, inputs, sched, fack) combination, in first-appearance
+// order. Scenario construction errors abort the sweep; consensus
+// violations do not — they are reported per cell.
+func Sweep(scs []Scenario, workers int) ([]Cell, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	outcomes := make([]*Outcome, len(scs))
+	errs := make([]error, len(scs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				outcomes[i], errs[i] = scs[i].Run()
+			}
+		}()
+	}
+	for i := range scs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("scenario %d (%s on %s under %s): %w", i, scs[i].Algo, scs[i].Topo, scs[i].Sched, err)
+		}
+	}
+	return aggregate(outcomes), nil
+}
+
+type accum struct {
+	cell                           *Cell
+	decide, broadcasts, deliveries []float64
+	diameters, facks               []float64
+	errSeen                        map[string]bool
+}
+
+func aggregate(outcomes []*Outcome) []Cell {
+	var order []string
+	acc := map[string]*accum{}
+	for _, o := range outcomes {
+		s := o.Scenario
+		in := s.Inputs
+		if in == "" {
+			in = "alternating"
+		}
+		c := Cell{Algo: s.Algo, Topo: s.Topo.String(), Inputs: in, Sched: s.Sched, Fack: s.Fack, N: o.N}
+		a, ok := acc[c.key()]
+		if !ok {
+			a = &accum{cell: &c, errSeen: map[string]bool{}}
+			acc[c.key()] = a
+			order = append(order, c.key())
+		}
+		a.cell.Runs++
+		if o.OK() {
+			a.cell.Correct++
+		}
+		for _, e := range o.Report.Errors {
+			if !a.errSeen[e] {
+				a.errSeen[e] = true
+				a.cell.Errors = append(a.cell.Errors, e)
+			}
+		}
+		a.diameters = append(a.diameters, float64(o.Diameter))
+		a.facks = append(a.facks, float64(o.Fack))
+		if o.Result.MaxDecideTime >= 0 {
+			a.decide = append(a.decide, float64(o.Result.MaxDecideTime))
+		} else {
+			a.cell.Undecided++
+		}
+		a.broadcasts = append(a.broadcasts, float64(o.Result.Broadcasts))
+		a.deliveries = append(a.deliveries, float64(o.Result.Deliveries))
+	}
+	cells := make([]Cell, 0, len(order))
+	for _, k := range order {
+		a := acc[k]
+		a.cell.Diameter = int(stats.Median(a.diameters))
+		a.cell.EffectiveFack = int64(stats.Median(a.facks))
+		a.cell.Decide = summarize(a.decide)
+		if len(a.decide) > 0 && a.cell.EffectiveFack > 0 {
+			a.cell.DecidePerFack = a.cell.Decide.Median / float64(a.cell.EffectiveFack)
+		}
+		a.cell.Broadcasts = summarize(a.broadcasts)
+		a.cell.Deliveries = summarize(a.deliveries)
+		cells = append(cells, *a.cell)
+	}
+	return cells
+}
+
+// Report writes the cells to w — an indented JSON array when jsonOut,
+// an aligned text table otherwise — and returns how many cells contain
+// consensus violations. It is the shared output path of `amacsim -sweep`
+// and `benchsuite -grid`.
+func Report(w io.Writer, cells []Cell, jsonOut bool) (bad int, err error) {
+	if jsonOut {
+		err = WriteJSON(w, cells)
+	} else {
+		_, err = io.WriteString(w, Table(cells).Render())
+	}
+	for i := range cells {
+		if !cells[i].OK() {
+			bad++
+		}
+	}
+	return bad, err
+}
+
+// WriteJSON emits the cells as an indented JSON array (the `amacsim -sweep
+// -json` output format).
+func WriteJSON(w io.Writer, cells []Cell) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cells)
+}
+
+// Table renders the cells as a plain-text table.
+func Table(cells []Cell) *stats.Table {
+	t := &stats.Table{Columns: []string{
+		"algo", "topo", "inputs", "sched", "Fack", "n", "D",
+		"runs", "ok", "decide med", "decide p95", "decide/Fack", "bcast med", "deliv med",
+	}}
+	for _, c := range cells {
+		ok := fmt.Sprintf("%d/%d", c.Correct, c.Runs)
+		fack := fmt.Sprint(c.Fack)
+		if c.EffectiveFack != c.Fack {
+			// Structural schedulers override the requested bound.
+			fack = fmt.Sprintf("%d>%d", c.Fack, c.EffectiveFack)
+		}
+		t.AddRow(c.Algo, c.Topo, c.Inputs, c.Sched, fack, c.N, c.Diameter,
+			c.Runs, ok, c.Decide.Median, c.Decide.P95, c.DecidePerFack,
+			c.Broadcasts.Median, c.Deliveries.Median)
+	}
+	return t
+}

@@ -1,0 +1,262 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/absmac/absmac/internal/consensus"
+	"github.com/absmac/absmac/internal/sim"
+)
+
+func testGrid() Grid {
+	return Grid{
+		Algos:  []string{"wpaxos", "gatherall"},
+		Topos:  []Topo{{Kind: "clique", N: 6}, {Kind: "line", N: 5}},
+		Scheds: []string{"sync", "random"},
+		Facks:  []int64{2, 5},
+		Seeds:  []int64{1, 2, 3},
+	}
+}
+
+func TestGridExpansion(t *testing.T) {
+	g := testGrid()
+	scs, err := g.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 2 * 2 * 2 * 3; len(scs) != want {
+		t.Fatalf("expanded %d scenarios, want %d", len(scs), want)
+	}
+	// Seeds vary fastest: consecutive scenarios within a cell differ only
+	// in seed.
+	if scs[0].Seed == scs[1].Seed || scs[0].Algo != scs[1].Algo || scs[0].Fack != scs[1].Fack {
+		t.Fatalf("seed is not the innermost axis: %+v then %+v", scs[0], scs[1])
+	}
+}
+
+func TestGridEmptyAxis(t *testing.T) {
+	g := testGrid()
+	g.Facks = nil
+	if _, err := g.Scenarios(); err == nil {
+		t.Fatal("empty Facks axis accepted")
+	}
+	// Inputs is the one axis allowed to be empty (defaults to alternating).
+	g = testGrid()
+	g.Inputs = nil
+	scs, err := g.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scs[0].Inputs != "alternating" {
+		t.Fatalf("default input pattern %q, want alternating", scs[0].Inputs)
+	}
+}
+
+func TestSweepAggregation(t *testing.T) {
+	scs, err := testGrid().Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := Sweep(scs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 2 * 2 * 2; len(cells) != want {
+		t.Fatalf("%d cells, want %d", len(cells), want)
+	}
+	for _, c := range cells {
+		if c.Runs != 3 {
+			t.Errorf("cell %s/%s/%s: %d runs, want 3 (one per seed)", c.Algo, c.Topo, c.Sched, c.Runs)
+		}
+		if !c.OK() {
+			t.Errorf("cell %s/%s/%s: %d/%d correct: %v", c.Algo, c.Topo, c.Sched, c.Correct, c.Runs, c.Errors)
+		}
+		if c.N == 0 || c.Decide.Median <= 0 || c.Broadcasts.Median <= 0 {
+			t.Errorf("cell %s/%s/%s: empty aggregates %+v", c.Algo, c.Topo, c.Sched, c)
+		}
+		if c.Decide.Min > c.Decide.Median || c.Decide.Median > c.Decide.Max {
+			t.Errorf("cell %s/%s/%s: summary out of order %+v", c.Algo, c.Topo, c.Sched, c.Decide)
+		}
+	}
+	// First-appearance order follows the expansion order.
+	if cells[0].Algo != scs[0].Algo || cells[0].Topo != scs[0].Topo.String() {
+		t.Errorf("cell order does not follow scenario order: %+v vs %+v", cells[0], scs[0])
+	}
+}
+
+// TestSweepParallelMatchesSerial proves the worker pool does not leak
+// nondeterminism into results: one worker and many workers produce
+// identical cells.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	scs, err := testGrid().Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Sweep(scs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Sweep(scs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel sweep differs from serial sweep")
+	}
+}
+
+func TestSweepScenarioError(t *testing.T) {
+	scs := []Scenario{{Algo: "nope", Topo: Topo{Kind: "clique", N: 4}, Sched: "sync", Fack: 2, Seed: 1}}
+	if _, err := Sweep(scs, 2); err == nil {
+		t.Fatal("sweep accepted an invalid scenario")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	scs, err := Grid{
+		Algos:  []string{"twophase"},
+		Topos:  []Topo{{Kind: "clique", N: 4}},
+		Scheds: []string{"random"},
+		Facks:  []int64{3},
+		Seeds:  []int64{1, 2},
+	}.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := Sweep(scs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	var back []Cell
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("sweep JSON does not round-trip: %v", err)
+	}
+	if !reflect.DeepEqual(back, cells) {
+		t.Fatal("JSON round trip changed the cells")
+	}
+	if back[0].Topo != "clique:4" {
+		t.Fatalf("topology serialized as %q, want compact grammar", back[0].Topo)
+	}
+}
+
+// TestAggregateUndecided feeds aggregate a hand-built mix of decided and
+// undecided outcomes: the -1 "nobody decided" sentinel must not leak into
+// the latency summary, and the cell must count the undecided runs.
+func TestAggregateUndecided(t *testing.T) {
+	sc := Scenario{Algo: "twophase", Topo: Topo{Kind: "clique", N: 2}, Sched: "sync", Fack: 2}
+	mk := func(decideTime int64, terminated bool) *Outcome {
+		rep := &consensus.Report{Agreement: true, Validity: true, Termination: terminated}
+		if !terminated {
+			rep.Errors = []string{"termination violated"}
+		}
+		return &Outcome{
+			Scenario: sc,
+			Result:   &sim.Result{MaxDecideTime: decideTime},
+			Report:   rep,
+			N:        2, Diameter: 1, Fack: 2,
+		}
+	}
+	cells := aggregate([]*Outcome{mk(10, true), mk(-1, false), mk(20, true)})
+	if len(cells) != 1 {
+		t.Fatalf("%d cells, want 1", len(cells))
+	}
+	c := cells[0]
+	if c.Runs != 3 || c.Correct != 2 || c.Undecided != 1 {
+		t.Fatalf("runs/correct/undecided = %d/%d/%d, want 3/2/1", c.Runs, c.Correct, c.Undecided)
+	}
+	if c.Decide.Min != 10 || c.Decide.Max != 20 || c.Decide.Mean != 15 {
+		t.Fatalf("undecided sentinel leaked into latency summary: %+v", c.Decide)
+	}
+	if c.DecidePerFack <= 0 {
+		t.Fatalf("DecidePerFack = %v, want positive", c.DecidePerFack)
+	}
+	if len(c.Errors) != 1 {
+		t.Fatalf("errors %v, want the termination violation", c.Errors)
+	}
+
+	// All-undecided cells report zero latency rather than -1.
+	c = aggregate([]*Outcome{mk(-1, false)})[0]
+	if c.Undecided != 1 || c.Decide.Median != 0 || c.DecidePerFack != 0 {
+		t.Fatalf("all-undecided cell: %+v", c)
+	}
+}
+
+// TestEffectiveFack pins down that cells report the scheduler's declared
+// bound, not the requested axis value, for structural schedulers.
+func TestEffectiveFack(t *testing.T) {
+	scs, err := Grid{
+		Algos:  []string{"twophase"},
+		Topos:  []Topo{{Kind: "clique", N: 8}}, // max degree 7
+		Scheds: []string{"edgeorder", "sync"},
+		Facks:  []int64{4},
+		Seeds:  []int64{1},
+	}.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scs[0].MaxEvents != DefaultSweepMaxEvents {
+		t.Fatalf("sweep scenarios default MaxEvents=%d, want %d", scs[0].MaxEvents, DefaultSweepMaxEvents)
+	}
+	cells, err := Sweep(scs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Cell{}
+	for _, c := range cells {
+		byName[c.Sched] = c
+	}
+	if c := byName["edgeorder"]; c.Fack != 4 || c.EffectiveFack != 8 {
+		t.Fatalf("edgeorder cell fack=%d effective=%d, want 4 and MaxDegree+1=8", c.Fack, c.EffectiveFack)
+	}
+	if c := byName["sync"]; c.EffectiveFack != 4 {
+		t.Fatalf("sync cell effective fack=%d, want the requested 4", c.EffectiveFack)
+	}
+	if c := byName["edgeorder"]; c.DecidePerFack != c.Decide.Median/8 {
+		t.Fatalf("edgeorder DecidePerFack=%v not normalized by the declared bound", c.DecidePerFack)
+	}
+}
+
+func TestReport(t *testing.T) {
+	cells := []Cell{
+		{Algo: "wpaxos", Topo: "clique:4", Sched: "sync", Runs: 2, Correct: 2},
+		{Algo: "wpaxos", Topo: "line:4", Sched: "sync", Runs: 2, Correct: 1, Errors: []string{"x"}},
+	}
+	var buf bytes.Buffer
+	bad, err := Report(&buf, cells, false)
+	if err != nil || bad != 1 {
+		t.Fatalf("text Report: bad=%d err=%v, want 1 nil", bad, err)
+	}
+	if !strings.Contains(buf.String(), "1/2") {
+		t.Fatalf("table missing the failing cell:\n%s", buf.String())
+	}
+	buf.Reset()
+	bad, err = Report(&buf, cells, true)
+	if err != nil || bad != 1 {
+		t.Fatalf("json Report: bad=%d err=%v, want 1 nil", bad, err)
+	}
+	var back []Cell
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("json Report output invalid: %v", err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	cells := []Cell{{
+		Algo: "wpaxos", Topo: "clique:4", Inputs: "alternating", Sched: "sync",
+		Fack: 2, N: 4, Diameter: 1, Runs: 3, Correct: 3,
+		Decide: Summary{Min: 10, Median: 12, Mean: 12, P95: 14, Max: 14},
+	}}
+	out := Table(cells).Render()
+	for _, want := range []string{"wpaxos", "clique:4", "3/3", "12.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/absmac/absmac/internal/graph"
+)
+
+// Topo describes a topology by family name plus the family's parameters.
+// The zero value is invalid; construct via ParseTopo or a literal with Kind
+// set. Topologies marshal to their compact string form in JSON.
+type Topo struct {
+	// Kind is a registered family: clique | line | ring | star | grid |
+	// tree | starlines | random.
+	Kind string
+	// N is the node count for clique/line/ring/star/random.
+	N int
+	// Rows and Cols shape grids.
+	Rows, Cols int
+	// Branch and Depth shape balanced trees.
+	Branch, Depth int
+	// Arms and ArmLen shape stars-of-lines.
+	Arms, ArmLen int
+	// P is the random family's edge probability.
+	P float64
+}
+
+// Topologies returns the registered topology family names, sorted.
+func Topologies() []string {
+	return []string{"clique", "grid", "line", "random", "ring", "star", "starlines", "tree"}
+}
+
+// ParseTopo parses the compact topology grammar used by sweep flags:
+//
+//	clique:N  line:N  ring:N  star:N       one size parameter
+//	grid:RxC  tree:BxD  starlines:AxL      two, separated by 'x'
+//	random:N:P                             size and edge probability
+//
+// Examples: "clique:16", "grid:4x4", "tree:2x3", "random:24:0.1".
+func ParseTopo(s string) (Topo, error) {
+	parts := strings.Split(s, ":")
+	kind := parts[0]
+	bad := func() (Topo, error) {
+		return Topo{}, fmt.Errorf("harness: cannot parse topology %q (grammar: kind:N, kind:AxB or random:N:P; kinds %v)", s, Topologies())
+	}
+	one := func() (int, bool) {
+		if len(parts) != 2 {
+			return 0, false
+		}
+		n, err := strconv.Atoi(parts[1])
+		return n, err == nil
+	}
+	two := func() (int, int, bool) {
+		if len(parts) != 2 {
+			return 0, 0, false
+		}
+		ab := strings.SplitN(parts[1], "x", 2)
+		if len(ab) != 2 {
+			return 0, 0, false
+		}
+		a, err1 := strconv.Atoi(ab[0])
+		b, err2 := strconv.Atoi(ab[1])
+		return a, b, err1 == nil && err2 == nil
+	}
+	switch kind {
+	case "clique", "line", "ring", "star":
+		n, ok := one()
+		if !ok {
+			return bad()
+		}
+		return Topo{Kind: kind, N: n}, nil
+	case "grid":
+		r, c, ok := two()
+		if !ok {
+			return bad()
+		}
+		return Topo{Kind: kind, Rows: r, Cols: c}, nil
+	case "tree":
+		b, d, ok := two()
+		if !ok {
+			return bad()
+		}
+		return Topo{Kind: kind, Branch: b, Depth: d}, nil
+	case "starlines":
+		a, l, ok := two()
+		if !ok {
+			return bad()
+		}
+		return Topo{Kind: kind, Arms: a, ArmLen: l}, nil
+	case "random":
+		if len(parts) != 3 {
+			return bad()
+		}
+		n, err1 := strconv.Atoi(parts[1])
+		p, err2 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil {
+			return bad()
+		}
+		return Topo{Kind: kind, N: n, P: p}, nil
+	default:
+		return bad()
+	}
+}
+
+// String renders the topology in the ParseTopo grammar.
+func (t Topo) String() string {
+	switch t.Kind {
+	case "grid":
+		return fmt.Sprintf("grid:%dx%d", t.Rows, t.Cols)
+	case "tree":
+		return fmt.Sprintf("tree:%dx%d", t.Branch, t.Depth)
+	case "starlines":
+		return fmt.Sprintf("starlines:%dx%d", t.Arms, t.ArmLen)
+	case "random":
+		return fmt.Sprintf("random:%d:%g", t.N, t.P)
+	default:
+		return fmt.Sprintf("%s:%d", t.Kind, t.N)
+	}
+}
+
+// MarshalText renders the compact grammar (so Topo JSON-encodes as a
+// string inside Scenario and Cell).
+func (t Topo) MarshalText() ([]byte, error) { return []byte(t.String()), nil }
+
+// UnmarshalText parses the compact grammar.
+func (t *Topo) UnmarshalText(b []byte) error {
+	parsed, err := ParseTopo(string(b))
+	if err != nil {
+		return err
+	}
+	*t = parsed
+	return nil
+}
+
+// Build constructs the graph. The seed feeds the random family only; every
+// other family ignores it, so the same Topo builds the same graph.
+func (t Topo) Build(seed int64) (*graph.Graph, error) {
+	switch t.Kind {
+	case "clique":
+		return checkN(graph.Clique, t)
+	case "line":
+		return checkN(graph.Line, t)
+	case "ring":
+		if t.N < 3 {
+			return nil, fmt.Errorf("harness: %s needs n >= 3", t)
+		}
+		return graph.Ring(t.N), nil
+	case "star":
+		return checkN(graph.Star, t)
+	case "grid":
+		if t.Rows < 1 || t.Cols < 1 {
+			return nil, fmt.Errorf("harness: %s needs rows, cols >= 1", t)
+		}
+		return graph.Grid(t.Rows, t.Cols), nil
+	case "tree":
+		if t.Branch < 1 || t.Depth < 0 {
+			return nil, fmt.Errorf("harness: %s needs branch >= 1, depth >= 0", t)
+		}
+		return graph.BalancedTree(t.Branch, t.Depth), nil
+	case "starlines":
+		if t.Arms < 1 || t.ArmLen < 1 {
+			return nil, fmt.Errorf("harness: %s needs arms, armlen >= 1", t)
+		}
+		return graph.StarOfLines(t.Arms, t.ArmLen), nil
+	case "random":
+		if t.N < 1 || t.P < 0 || t.P > 1 {
+			return nil, fmt.Errorf("harness: %s needs n >= 1 and p in [0,1]", t)
+		}
+		return graph.RandomConnected(t.N, t.P, seed), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown topology kind %q (have %v)", t.Kind, Topologies())
+	}
+}
+
+func checkN(mk func(int) *graph.Graph, t Topo) (*graph.Graph, error) {
+	if t.N < 1 {
+		return nil, fmt.Errorf("harness: %s needs n >= 1", t)
+	}
+	return mk(t.N), nil
+}

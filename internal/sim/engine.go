@@ -52,49 +52,15 @@ func (a api) Decide(v amac.Value) {
 var _ amac.API = api{}
 
 func newEngine(cfg Config) *engine {
-	if cfg.Graph == nil {
-		panic("sim: Config.Graph is nil")
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	n := cfg.Graph.N()
-	if len(cfg.Inputs) != n {
-		panic(fmt.Sprintf("sim: %d inputs for %d nodes", len(cfg.Inputs), n))
-	}
-	if cfg.Factory == nil {
-		panic("sim: Config.Factory is nil")
-	}
-	if cfg.Scheduler == nil {
-		panic("sim: Config.Scheduler is nil")
-	}
-	if cfg.Scheduler.Fack() <= 0 {
-		panic(fmt.Sprintf("sim: scheduler declares Fack=%d, need > 0", cfg.Scheduler.Fack()))
-	}
 	ids := cfg.IDs
 	if ids == nil {
 		ids = make([]amac.NodeID, n)
 		for i := range ids {
 			ids[i] = amac.NodeID(i + 1)
-		}
-	}
-	if len(ids) != n {
-		panic(fmt.Sprintf("sim: %d ids for %d nodes", len(ids), n))
-	}
-	seen := make(map[amac.NodeID]bool, n)
-	for _, id := range ids {
-		if seen[id] {
-			panic(fmt.Sprintf("sim: duplicate node id %d", id))
-		}
-		seen[id] = true
-	}
-	if cfg.Unreliable != nil {
-		if cfg.Unreliable.N() != n {
-			panic(fmt.Sprintf("sim: unreliable graph has %d nodes, topology has %d", cfg.Unreliable.N(), n))
-		}
-		for u := 0; u < n; u++ {
-			for _, v := range cfg.Unreliable.Neighbors(u) {
-				if cfg.Graph.HasEdge(u, v) {
-					panic(fmt.Sprintf("sim: edge {%d,%d} is both reliable and unreliable", u, v))
-				}
-			}
 		}
 	}
 	maxEvt := cfg.MaxEvents
@@ -123,12 +89,6 @@ func newEngine(cfg Config) *engine {
 		}
 	}
 	for _, c := range cfg.Crashes {
-		if c.Node < 0 || c.Node >= n {
-			panic(fmt.Sprintf("sim: crash of node %d out of range", c.Node))
-		}
-		if c.At < 0 {
-			panic(fmt.Sprintf("sim: crash at negative time %d", c.At))
-		}
 		st := &e.nodes[c.Node]
 		if st.crashAt < 0 || c.At < st.crashAt {
 			st.crashAt = c.At

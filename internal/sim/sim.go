@@ -115,6 +115,63 @@ type Config struct {
 // DefaultMaxEvents bounds event processing when Config.MaxEvents is zero.
 const DefaultMaxEvents = 20_000_000
 
+// Validate checks the configuration without running it: required fields,
+// input/id lengths, id uniqueness, scheduler Fack positivity, crash ranges
+// and the unreliable-graph contract. Run panics on exactly the errors
+// Validate reports, so callers that assemble configurations from external
+// input (flags, sweep grids) can surface them as errors instead.
+func (cfg *Config) Validate() error {
+	if cfg.Graph == nil {
+		return fmt.Errorf("sim: Config.Graph is nil")
+	}
+	n := cfg.Graph.N()
+	if len(cfg.Inputs) != n {
+		return fmt.Errorf("sim: %d inputs for %d nodes", len(cfg.Inputs), n)
+	}
+	if cfg.Factory == nil {
+		return fmt.Errorf("sim: Config.Factory is nil")
+	}
+	if cfg.Scheduler == nil {
+		return fmt.Errorf("sim: Config.Scheduler is nil")
+	}
+	if cfg.Scheduler.Fack() <= 0 {
+		return fmt.Errorf("sim: scheduler declares Fack=%d, need > 0", cfg.Scheduler.Fack())
+	}
+	if cfg.IDs != nil {
+		if len(cfg.IDs) != n {
+			return fmt.Errorf("sim: %d ids for %d nodes", len(cfg.IDs), n)
+		}
+		seen := make(map[amac.NodeID]bool, n)
+		for _, id := range cfg.IDs {
+			if seen[id] {
+				return fmt.Errorf("sim: duplicate node id %d", id)
+			}
+			seen[id] = true
+		}
+	}
+	if cfg.Unreliable != nil {
+		if cfg.Unreliable.N() != n {
+			return fmt.Errorf("sim: unreliable graph has %d nodes, topology has %d", cfg.Unreliable.N(), n)
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range cfg.Unreliable.Neighbors(u) {
+				if cfg.Graph.HasEdge(u, v) {
+					return fmt.Errorf("sim: edge {%d,%d} is both reliable and unreliable", u, v)
+				}
+			}
+		}
+	}
+	for _, c := range cfg.Crashes {
+		if c.Node < 0 || c.Node >= n {
+			return fmt.Errorf("sim: crash of node %d out of range", c.Node)
+		}
+		if c.At < 0 {
+			return fmt.Errorf("sim: crash at negative time %d", c.At)
+		}
+	}
+	return nil
+}
+
 // EventKind enumerates observable engine events.
 type EventKind int
 
