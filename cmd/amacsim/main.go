@@ -1,53 +1,80 @@
 // Command amacsim runs consensus executions in the abstract MAC layer
 // simulator — one execution by default, a parallel scenario sweep with
-// -sweep. All construction goes through internal/harness, so the algorithm,
-// topology, input and scheduler names accepted here are exactly the
-// harness registries.
+// -sweep. All construction goes through internal/harness, so the
+// algorithm, topology, input, scheduler, crash-pattern and overlay names
+// accepted here are exactly the harness registries.
 //
 // Single-cell examples:
 //
 //	amacsim -algo twophase -topo clique:16 -sched random -fack 8
 //	amacsim -algo wpaxos -topo grid:5x5 -sched maxdelay -fack 4
 //	amacsim -algo floodpaxos -topo starlines:8x3 -sched sync -v
+//	amacsim -algo floodpaxos -topo ring:9 -sched random -fack 4 \
+//	        -crash midbroadcast -overlay chords@0.8
 //
 // Sweep mode expands the cross product of comma-separated axes and runs it
 // on a GOMAXPROCS-wide worker pool, aggregating each (algo, topo, inputs,
-// sched, fack) cell over all seeds:
+// sched, fack, crashes, overlay) cell over all seeds:
 //
 //	amacsim -sweep -algos wpaxos,floodpaxos -topos clique:8,grid:3x3 \
 //	        -scheds sync,random -facks 2,8 -seeds 8 -json
+//	amacsim -sweep -algos floodpaxos -topos ring:9 -scheds random -facks 4 \
+//	        -crashes one@0,midbroadcast -overlays randomextra:0.25,chords \
+//	        -seeds 8
 //
 // Sweep grammar:
 //
 //   - -algos, -scheds, -inputs: comma-separated registry names
-//     (algorithms: twophase | wpaxos | floodpaxos | gatherall | benor;
+//     (algorithms: anonflood | benor | floodpaxos | gatherall | twophase |
+//     waitall | wpaxos;
 //     schedulers: sync | random | maxdelay | edgeorder;
 //     inputs: alternating | zeros | ones | half).
 //   - -topos: comma-separated topology specs — clique:N, line:N, ring:N,
 //     star:N, grid:RxC, tree:BxD, starlines:AxL, random:N:P.
 //   - -facks: comma-separated positive integers.
+//   - -crashes: comma-separated crash patterns, grammar name[@T] — none,
+//     one@T (highest-index node crashes at T), coordinator (node 0
+//     crashes at Fack), midbroadcast (node 0 crashes at max(1, Fack/2),
+//     inside its first broadcast window: the Theorem 3.2 crash),
+//     minorityrand (a seeded random minority at seeded random times in
+//     [0, 4*Fack]). Default none.
+//   - -overlays: comma-separated overlay families building the unreliable
+//     dual graph (Kuhn–Lynch–Newport model variant), grammar
+//     family[:param][@Q] — none, randomextra:P (a seeded random
+//     P-fraction of the non-edges; same density every seed), extra:K
+//     (K random non-edges), chords (antipodal chords). Q in [0,1] is the
+//     delivery probability (default 0.5): the scenario's scheduler is
+//     wrapped in the lossy adapter so overlay edges carry messages.
+//     Default none.
 //   - -seeds: a replication count; seeds 1..k run for every cell.
 //
 // With -json the sweep emits a JSON array of cell objects:
 //
 //	[{"algo": "wpaxos", "topo": "grid:3x3", "inputs": "alternating",
-//	  "sched": "random", "fack": 8, "effective_fack": 8,
-//	  "n": 9, "diameter": 4,
+//	  "sched": "random", "crashes": "one@0", "overlay": "extra:4",
+//	  "fack": 8, "effective_fack": 8, "n": 9, "diameter": 4,
 //	  "runs": 8, "correct": 8, "undecided": 0,
 //	  "decide_time": {"min": …, "median": …, "mean": …, "p95": …, "max": …},
 //	  "decide_per_fack": …,
+//	  "survivor_decide_time": {…}, "faults": {…},
+//	  "terminated_despite_faults": 8,
 //	  "broadcasts": {…}, "deliveries": {…},
 //	  "errors": ["…"]}, …]
 //
 // where decide_time summarizes per-run decision latency over the runs
-// that decided (undecided counts the rest), fack is the requested axis
-// value while effective_fack is the bound the scheduler actually declared
-// (they differ for edgeorder, whose bound is structural) and normalizes
+// that decided (undecided counts the rest), survivor_decide_time is the
+// same latency restricted to nodes that survived the run (the meaningful
+// number under crash patterns), faults summarizes the per-run crashed-node
+// count, terminated_despite_faults counts runs with at least one crash in
+// which every survivor still decided, fack is the requested axis value
+// while effective_fack is the bound the scheduler actually declared (they
+// differ for edgeorder, whose bound is structural) and normalizes
 // decide_per_fack, diameter is the median topology diameter across seeds
 // (seed-dependent only for random:N:P), broadcasts/deliveries summarize
 // MAC-layer message counts, and errors lists the distinct consensus
-// violations seen in the cell (absent when none). Without -json the same
-// cells render as an aligned text table. Exit status 1 when any run
+// violations seen in the cell (absent when none). Consensus properties are
+// judged over survivors: a crashed node owes nothing. Without -json the
+// same cells render as an aligned text table. Exit status 1 when any run
 // violates a consensus property.
 package main
 
@@ -70,9 +97,11 @@ func main() {
 	topo := flag.String("topo", "line:8", "topology spec, e.g. clique:16, grid:4x4, random:24:0.1")
 	sched := flag.String("sched", "random", "scheduler: "+strings.Join(harness.Schedulers(), " | "))
 	fack := flag.Int64("fack", 4, "scheduler delivery bound Fack")
-	seed := flag.Int64("seed", 1, "random seed (scheduler, algorithm and random topology)")
+	seed := flag.Int64("seed", 1, "random seed (scheduler, algorithm, random topology, crashes, overlay)")
 	inputs := flag.String("inputs", "alternating",
 		"input pattern (comma-separated list in sweep mode): "+strings.Join(harness.InputPatterns(), " | "))
+	crash := flag.String("crash", "none", "crash pattern name[@T]: "+strings.Join(harness.CrashPatterns(), " | "))
+	overlay := flag.String("overlay", "none", "unreliable overlay family[:param][@Q]: "+strings.Join(harness.Overlays(), " | "))
 	verbose := flag.Bool("v", false, "print the full event trace (single-cell mode only)")
 
 	// Sweep flags.
@@ -81,6 +110,8 @@ func main() {
 	topos := flag.String("topos", "clique:8,grid:3x3", "sweep: comma-separated topology specs")
 	scheds := flag.String("scheds", "sync,random", "sweep: comma-separated schedulers")
 	facks := flag.String("facks", "4", "sweep: comma-separated Fack values")
+	crashes := flag.String("crashes", "none", "sweep: comma-separated crash patterns")
+	overlays := flag.String("overlays", "none", "sweep: comma-separated overlay families")
 	seeds := flag.Int("seeds", 8, "sweep: seeds 1..k per cell")
 	workers := flag.Int("workers", 0, "sweep: worker pool width (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "sweep: emit JSON instead of a text table")
@@ -88,8 +119,8 @@ func main() {
 
 	// Flags have no effect outside their mode; fail loudly rather than
 	// let the user attribute results to a flag that was dropped.
-	singleOnly := map[string]bool{"algo": true, "topo": true, "sched": true, "fack": true, "seed": true, "v": true}
-	sweepOnly := map[string]bool{"algos": true, "topos": true, "scheds": true, "facks": true, "seeds": true, "workers": true, "json": true}
+	singleOnly := map[string]bool{"algo": true, "topo": true, "sched": true, "fack": true, "seed": true, "crash": true, "overlay": true, "v": true}
+	sweepOnly := map[string]bool{"algos": true, "topos": true, "scheds": true, "facks": true, "crashes": true, "overlays": true, "seeds": true, "workers": true, "json": true}
 	var stray []string
 	flag.Visit(func(f *flag.Flag) {
 		if (*sweep && singleOnly[f.Name]) || (!*sweep && sweepOnly[f.Name]) {
@@ -98,14 +129,14 @@ func main() {
 	})
 	if len(stray) > 0 {
 		if *sweep {
-			os.Exit(fail(fmt.Errorf("%s not allowed in sweep mode; use -algos/-topos/-scheds/-facks/-seeds", strings.Join(stray, ", "))))
+			os.Exit(fail(fmt.Errorf("%s not allowed in sweep mode; use -algos/-topos/-scheds/-facks/-crashes/-overlays/-seeds", strings.Join(stray, ", "))))
 		}
 		os.Exit(fail(fmt.Errorf("%s only apply with -sweep", strings.Join(stray, ", "))))
 	}
 	if *sweep {
-		os.Exit(runSweep(*algos, *topos, *scheds, *facks, *inputs, *seeds, *workers, *jsonOut))
+		os.Exit(runSweep(*algos, *topos, *scheds, *facks, *inputs, *crashes, *overlays, *seeds, *workers, *jsonOut))
 	}
-	os.Exit(runSingle(*algo, *topo, *sched, *inputs, *fack, *seed, *verbose))
+	os.Exit(runSingle(*algo, *topo, *sched, *inputs, *crash, *overlay, *fack, *seed, *verbose))
 }
 
 func fail(err error) int {
@@ -113,12 +144,12 @@ func fail(err error) int {
 	return 2
 }
 
-func runSingle(algo, topo, sched, inputs string, fack, seed int64, verbose bool) int {
+func runSingle(algo, topo, sched, inputs, crash, overlay string, fack, seed int64, verbose bool) int {
 	t, err := harness.ParseTopo(topo)
 	if err != nil {
 		return fail(err)
 	}
-	sc := harness.Scenario{Algo: algo, Topo: t, Inputs: inputs, Sched: sched, Fack: fack, Seed: seed}
+	sc := harness.Scenario{Algo: algo, Topo: t, Inputs: inputs, Sched: sched, Fack: fack, Seed: seed, Crashes: crash, Overlay: overlay}
 	cfg, err := sc.Config()
 	if err != nil {
 		return fail(err)
@@ -143,17 +174,23 @@ func runSingle(algo, topo, sched, inputs string, fack, seed int64, verbose bool)
 	fack = cfg.Scheduler.Fack()
 	fmt.Printf("algorithm   %s\n", algo)
 	fmt.Printf("topology    %s (n=%d, m=%d, diameter=%d)\n", t, g.N(), g.M(), g.Diameter())
+	if cfg.Unreliable != nil {
+		fmt.Printf("overlay     %s (%d unreliable edges)\n", overlay, cfg.Unreliable.M())
+	}
 	fmt.Printf("scheduler   %s (Fack=%d, seed=%d)\n", sched, fack, seed)
+	if len(cfg.Crashes) > 0 {
+		fmt.Printf("crashes     %s -> %v (%d crashed)\n", crash, cfg.Crashes, rep.Crashed)
+	}
 	fmt.Printf("decided     %v\n", res.AllDecided())
 	if rep.SomeoneDecided {
 		fmt.Printf("value       %d\n", rep.Value)
 	}
-	if res.MaxDecideTime >= 0 {
-		fmt.Printf("decide time %d (%.2f x Fack, %.2f x D*Fack)\n", res.MaxDecideTime,
-			float64(res.MaxDecideTime)/float64(fack),
-			float64(res.MaxDecideTime)/float64(fack*int64(g.Diameter()+1)))
+	if rep.SurvivorDecideTime >= 0 {
+		fmt.Printf("decide time %d (%.2f x Fack, %.2f x D*Fack; survivors)\n", rep.SurvivorDecideTime,
+			float64(rep.SurvivorDecideTime)/float64(fack),
+			float64(rep.SurvivorDecideTime)/float64(fack*int64(g.Diameter()+1)))
 	} else {
-		fmt.Println("decide time n/a (nobody decided)")
+		fmt.Println("decide time n/a (no survivor decided)")
 	}
 	fmt.Printf("traffic     %d broadcasts, %d deliveries, %d discards\n", res.Broadcasts, res.Deliveries, res.Discards)
 	fmt.Printf("agreement   %v\nvalidity    %v\ntermination %v\n", rep.Agreement, rep.Validity, rep.Termination)
@@ -164,11 +201,13 @@ func runSingle(algo, topo, sched, inputs string, fack, seed int64, verbose bool)
 	return 0
 }
 
-func runSweep(algos, topos, scheds, facks, inputs string, seeds, workers int, jsonOut bool) int {
+func runSweep(algos, topos, scheds, facks, inputs, crashes, overlays string, seeds, workers int, jsonOut bool) int {
 	grid := harness.Grid{
-		Algos:  splitList(algos),
-		Scheds: splitList(scheds),
-		Inputs: splitList(inputs),
+		Algos:    splitList(algos),
+		Scheds:   splitList(scheds),
+		Inputs:   splitList(inputs),
+		Crashes:  splitList(crashes),
+		Overlays: splitList(overlays),
 	}
 	for _, s := range splitList(topos) {
 		t, err := harness.ParseTopo(s)

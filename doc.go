@@ -14,10 +14,24 @@
 // programs, the cmd/ tools, and the benchmarks in bench_test.go).
 //
 // internal/harness is the scenario entry point: it names algorithms,
-// topologies, input patterns and schedulers in registries, assembles them
-// into runnable Scenario values, and sweeps scenario grids in parallel
-// with per-cell latency and message statistics. cmd/amacsim (single cell
-// and -sweep), cmd/benchsuite -grid and examples/quickstart are all built
-// on it; see cmd/amacsim's package comment for the sweep grammar and JSON
-// schema.
+// topologies, input patterns, schedulers, crash patterns and unreliable
+// overlays in registries, assembles them into runnable Scenario values,
+// and sweeps scenario grids in parallel with per-cell latency, fault and
+// message statistics. The two adversity registries put the paper's fault
+// models on sweep axes: crash patterns (none, one@T, coordinator,
+// midbroadcast, minorityrand) schedule the crash failures of Theorem 3.2
+// — including the mid-broadcast crash that loses part of a delivery plan
+// and the ack — and overlay families (none, randomextra:P, extra:K,
+// chords, each with an optional @Q delivery probability) build the
+// unreliable dual graph of the Kuhn–Lynch–Newport model variant, with
+// consensus properties judged over the surviving nodes. cmd/amacsim
+// (single cell and -sweep), cmd/benchsuite -grid and the examples are all
+// built on it; see cmd/amacsim's package comment for the sweep grammar —
+// e.g.
+//
+//	amacsim -sweep -algos floodpaxos -topos ring:9 -scheds random \
+//	        -facks 4 -crashes one@0,midbroadcast \
+//	        -overlays randomextra:0.25,chords -seeds 8
+//
+// — and the JSON cell schema.
 package absmac

@@ -2,9 +2,16 @@
 // (Section 2) and provides checkers that validate executions against its
 // three properties:
 //
-//	agreement:   no two nodes decide different values;
-//	validity:    a decided value was some node's initial value;
+//	agreement:   no two surviving nodes decide different values;
+//	validity:    a surviving node's decision was some node's initial value;
 //	termination: every non-faulty node eventually decides.
+//
+// All three properties are judged over survivors — crash-failure consensus
+// places no obligation on nodes the adversary kills, so a node that
+// decided and later crashed neither constrains nor violates agreement (the
+// non-uniform variant of the problem, matching the paper's crash model).
+// The report still counts the crashed nodes so fault-injected sweeps can
+// aggregate fault statistics.
 //
 // The checkers consume simulator results; they are also used by the live
 // runtime's harness. The package additionally provides an anonymity
@@ -28,10 +35,17 @@ type Report struct {
 	Validity    bool
 	Termination bool
 	// Value is the agreed value when Agreement holds and at least one
-	// node decided.
+	// surviving node decided.
 	Value amac.Value
-	// SomeoneDecided reports whether any node decided at all.
+	// SomeoneDecided reports whether any surviving node decided at all.
 	SomeoneDecided bool
+	// Crashed counts the crashed nodes (the run's fault load).
+	Crashed int
+	// SurvivorDecideTime is the latest decision time among surviving
+	// deciders — the fault-adjusted decision latency — or -1 when no
+	// survivor decided. It differs from sim.Result.MaxDecideTime when a
+	// node decided and then crashed.
+	SurvivorDecideTime int64
 	// Errors describes each violated property.
 	Errors []string
 }
@@ -45,7 +59,7 @@ func (r *Report) OK() bool {
 // Check validates a simulator result against the consensus properties for
 // the given inputs (which must be the inputs the run was configured with).
 func Check(inputs []amac.Value, res *sim.Result) *Report {
-	rep := &Report{Agreement: true, Validity: true, Termination: true}
+	rep := &Report{Agreement: true, Validity: true, Termination: true, SurvivorDecideTime: -1}
 	if len(inputs) != len(res.Decided) {
 		rep.Errors = append(rep.Errors, fmt.Sprintf("inputs/result size mismatch: %d vs %d", len(inputs), len(res.Decided)))
 		rep.Agreement, rep.Validity, rep.Termination = false, false, false
@@ -59,14 +73,21 @@ func Check(inputs []amac.Value, res *sim.Result) *Report {
 
 	first := true
 	for i, decided := range res.Decided {
+		if res.Crashed[i] {
+			// Crashed nodes carry no obligations: their decisions (if
+			// any) are judged by nobody, and termination exempts them.
+			rep.Crashed++
+			continue
+		}
 		if !decided {
-			if !res.Crashed[i] {
-				rep.Termination = false
-				rep.Errors = append(rep.Errors, fmt.Sprintf("termination: non-faulty node %d never decided", i))
-			}
+			rep.Termination = false
+			rep.Errors = append(rep.Errors, fmt.Sprintf("termination: non-faulty node %d never decided", i))
 			continue
 		}
 		rep.SomeoneDecided = true
+		if res.DecideTime[i] > rep.SurvivorDecideTime {
+			rep.SurvivorDecideTime = res.DecideTime[i]
+		}
 		v := res.Decision[i]
 		if !valid[v] {
 			rep.Validity = false

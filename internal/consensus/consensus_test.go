@@ -70,6 +70,49 @@ func TestCheckTermination(t *testing.T) {
 	}
 }
 
+// TestCheckJudgesSurvivorsOnly pins the crash-failure semantics: a node
+// that decided a conflicting value and then crashed neither violates
+// agreement nor contributes to the survivor latency.
+func TestCheckJudgesSurvivorsOnly(t *testing.T) {
+	res := result(3)
+	res.Decided[0], res.Decision[0], res.DecideTime[0] = true, 0, 50
+	res.Crashed[0] = true // decided 0 at t=50, then crashed
+	res.Decided[1], res.Decision[1], res.DecideTime[1] = true, 1, 10
+	res.Decided[2], res.Decision[2], res.DecideTime[2] = true, 1, 20
+	res.MaxDecideTime = 50
+	rep := Check([]amac.Value{0, 1, 1}, res)
+	if !rep.OK() {
+		t.Fatalf("survivor-consistent run flagged: %v", rep.Errors)
+	}
+	if rep.Value != 1 {
+		t.Fatalf("agreed value %d, want the survivors' 1", rep.Value)
+	}
+	if rep.Crashed != 1 {
+		t.Fatalf("crashed count %d, want 1", rep.Crashed)
+	}
+	if rep.SurvivorDecideTime != 20 {
+		t.Fatalf("survivor decide time %d, want 20 (crashed decider excluded)", rep.SurvivorDecideTime)
+	}
+
+	// An invalid decision by a crashed node is exempt too.
+	res = result(2)
+	res.Decided[0], res.Decision[0] = true, 1 // 1 was never proposed
+	res.Crashed[0] = true
+	res.Decided[1], res.Decision[1], res.DecideTime[1] = true, 0, 5
+	rep = Check([]amac.Value{0, 0}, res)
+	if !rep.OK() {
+		t.Fatalf("crashed node's invalid decision flagged: %v", rep.Errors)
+	}
+
+	// No surviving decider: the sentinel must come back unchanged.
+	res = result(1)
+	res.Decided[0], res.Crashed[0] = true, true
+	rep = Check([]amac.Value{0}, res)
+	if rep.SomeoneDecided || rep.SurvivorDecideTime != -1 {
+		t.Fatalf("crashed-only deciders leaked into survivor stats: %+v", rep)
+	}
+}
+
 func TestCheckSubstrateViolationsPropagate(t *testing.T) {
 	res := result(1)
 	res.Decided[0] = true

@@ -1,0 +1,36 @@
+package harness
+
+import "testing"
+
+// BenchmarkSweepCell measures one aggregated sweep cell end to end —
+// scenario assembly, the parallel worker pool, consensus checking and
+// aggregation — on a fault-injected grid, which is the workload the
+// engine's allocation-free broadcast path exists for.
+func BenchmarkSweepCell(b *testing.B) {
+	// floodpaxos: the one multihop algorithm whose liveness holds for
+	// every crash x overlay combination (see cmd/benchsuite).
+	grid := Grid{
+		Algos:    []string{"floodpaxos"},
+		Topos:    []Topo{{Kind: "grid", Rows: 3, Cols: 3}},
+		Scheds:   []string{"random"},
+		Facks:    []int64{4},
+		Crashes:  []string{"one@0"},
+		Overlays: []string{"extra:4"},
+		Seeds:    []int64{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	scs, err := grid.Scenarios()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells, err := Sweep(scs, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != 1 || !cells[0].OK() {
+			b.Fatalf("sweep cell broken: %+v", cells)
+		}
+	}
+}

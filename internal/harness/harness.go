@@ -1,15 +1,23 @@
 // Package harness assembles and runs simulator scenarios by name.
 //
 // A Scenario names everything one execution needs — algorithm, topology,
-// input pattern, scheduler, Fack, seed — and the package holds the
-// registries that map those names to constructors. The CLIs (cmd/amacsim,
-// cmd/benchsuite) and the examples build on these registries instead of
-// hand-rolling their own switch statements, so a new algorithm, topology
-// family or scheduler registered here becomes available everywhere at once.
+// input pattern, scheduler, Fack, seed, crash pattern, overlay family —
+// and the package holds the registries that map those names to
+// constructors. The CLIs (cmd/amacsim, cmd/benchsuite) and the examples
+// build on these registries instead of hand-rolling their own switch
+// statements, so a new algorithm, topology family, scheduler, crash
+// pattern or overlay registered here becomes available everywhere at once.
+//
+// The adversity registries (adversity.go) cover the paper's fault models:
+// crash patterns schedule sim.Crash failures — including Theorem 3.2's
+// mid-broadcast crash — and overlay families build the unreliable
+// dual graph of the Kuhn–Lynch–Newport model variant, with a lossy
+// scheduler wrapper delivering over its edges probabilistically.
 //
 // On top of single scenarios, sweep.go expands a Grid (the cross product of
-// named axes) into scenarios and runs them on a GOMAXPROCS-wide worker
-// pool, aggregating per-cell decision-latency and message-count
+// named axes, now including the two fault axes) into scenarios and runs
+// them on a GOMAXPROCS-wide worker pool, aggregating per-cell
+// decision-latency, survivor-latency, fault and message-count
 // distributions. See cmd/amacsim's package comment for the sweep grammar.
 package harness
 
@@ -18,8 +26,10 @@ import (
 	"sort"
 
 	"github.com/absmac/absmac/internal/amac"
+	"github.com/absmac/absmac/internal/baseline/anonflood"
 	"github.com/absmac/absmac/internal/baseline/floodpaxos"
 	"github.com/absmac/absmac/internal/baseline/gatherall"
+	"github.com/absmac/absmac/internal/baseline/waitall"
 	"github.com/absmac/absmac/internal/consensus"
 	"github.com/absmac/absmac/internal/core/twophase"
 	"github.com/absmac/absmac/internal/core/wpaxos"
@@ -44,9 +54,17 @@ type Scenario struct {
 	Sched string `json:"sched"`
 	// Fack is the scheduler's delivery bound.
 	Fack int64 `json:"fack"`
-	// Seed feeds the scheduler, the algorithm (when randomized) and the
-	// random topology family.
+	// Seed feeds the scheduler, the algorithm (when randomized), the
+	// random topology family, and the crash/overlay registries.
 	Seed int64 `json:"seed"`
+	// Crashes is a registered crash-pattern spec (see NewCrashes).
+	// Empty means "none".
+	Crashes string `json:"crashes,omitempty"`
+	// Overlay is a registered overlay-family spec (see NewOverlay)
+	// building the unreliable dual graph. Empty means "none". A non-none
+	// overlay also wraps the scheduler in sim.Lossy with the spec's
+	// delivery probability, so the unreliable edges carry messages.
+	Overlay string `json:"overlay,omitempty"`
 	// MaxEvents optionally caps the execution (0 means the simulator
 	// default). Sweeps set it so one non-quiescent cell cannot stall the
 	// whole grid.
@@ -87,6 +105,18 @@ var algorithms = map[string]algoCtor{
 	"gatherall":  func(n int, _ int64) amac.Factory { return gatherall.NewFactory(n) },
 	"benor": func(n int, seed int64) amac.Factory {
 		return benor.NewFactory(benor.Config{N: n, F: (n - 1) / 2, Seed: seed})
+	},
+	// The two defeated baselines take a round budget derived from a
+	// diameter bound; the registry only knows n, so it uses the universal
+	// bound diameter <= n-1. That keeps them correct exactly where the
+	// paper says they are (crash-free reliable executions whose scheduler
+	// lets information traverse within the budget) while sweeps can now
+	// reach the regimes that defeat them.
+	"anonflood": func(n int, _ int64) amac.Factory {
+		return anonflood.NewFactory(anonflood.RoundsForDiameter(n - 1))
+	},
+	"waitall": func(n int, _ int64) amac.Factory {
+		return waitall.NewFactory(waitall.RoundsForDiameter(n - 1))
 	},
 }
 
@@ -206,6 +236,19 @@ func (s Scenario) Config() (sim.Config, error) {
 	if err != nil {
 		return sim.Config{}, err
 	}
+	crashes, err := NewCrashes(s.Crashes, g.N(), s.Fack, s.Seed)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	unreliable, deliverP, err := NewOverlay(s.Overlay, g, s.Seed)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	if unreliable != nil {
+		// The lossy wrapper is what makes overlay edges deliver at all:
+		// base schedulers plan only the reliable neighbors.
+		scheduler = sim.NewLossy(scheduler, deliverP, lossySeed(s.Seed))
+	}
 	// Every Validate check is already guaranteed by the construction
 	// above (and sim.Run re-validates), so the config is returned as is.
 	return sim.Config{
@@ -213,6 +256,8 @@ func (s Scenario) Config() (sim.Config, error) {
 		Inputs:          ins,
 		Factory:         factory,
 		Scheduler:       scheduler,
+		Unreliable:      unreliable,
+		Crashes:         crashes,
 		MaxEvents:       s.MaxEvents,
 		StopWhenDecided: true,
 		Audit:           true,

@@ -8,7 +8,7 @@ import (
 )
 
 func TestRegistriesCoverSeedNames(t *testing.T) {
-	for _, algo := range []string{"twophase", "wpaxos", "floodpaxos", "gatherall", "benor"} {
+	for _, algo := range []string{"twophase", "wpaxos", "floodpaxos", "gatherall", "benor", "anonflood", "waitall"} {
 		if _, err := NewFactory(algo, 4, 1); err != nil {
 			t.Errorf("algorithm %q not registered: %v", algo, err)
 		}
@@ -147,6 +147,26 @@ func TestScenarioConfigErrors(t *testing.T) {
 	}
 	if _, err := base.Config(); err != nil {
 		t.Fatalf("base scenario rejected: %v", err)
+	}
+}
+
+// TestDefeatedBaselineRegistration: the two baselines the paper's lower
+// bounds defeat still satisfy the registry contract — with the universal
+// diameter bound n-1 they are correct on crash-free reliable executions —
+// so sweeps can now cover every implemented algorithm.
+func TestDefeatedBaselineRegistration(t *testing.T) {
+	for _, algo := range []string{"anonflood", "waitall"} {
+		for _, topo := range []Topo{{Kind: "clique", N: 6}, {Kind: "line", N: 5}} {
+			for _, sched := range []string{"sync", "random"} {
+				out, err := Scenario{Algo: algo, Topo: topo, Sched: sched, Fack: 3, Seed: 2}.Run()
+				if err != nil {
+					t.Fatalf("%s on %s under %s: %v", algo, topo, sched, err)
+				}
+				if !out.OK() {
+					t.Errorf("%s on %s under %s: %v", algo, topo, sched, out.Report.Errors)
+				}
+			}
+		}
 	}
 }
 

@@ -11,15 +11,20 @@ import (
 )
 
 // Grid is the cross product of scenario axes. Seeds vary fastest and are
-// the replication axis: all seeds of one (algo, topo, sched, fack, inputs)
-// combination aggregate into a single Cell.
+// the replication axis: all seeds of one (algo, topo, sched, fack, inputs,
+// crashes, overlay) combination aggregate into a single Cell.
 type Grid struct {
 	Algos  []string
 	Topos  []Topo
 	Scheds []string
 	Facks  []int64
 	Inputs []string
-	Seeds  []int64
+	// Crashes and Overlays are the fault axes: registered crash-pattern
+	// and overlay-family specs (see NewCrashes and NewOverlay). Either
+	// may be empty, defaulting to {"none"} — a fault-free sweep.
+	Crashes  []string
+	Overlays []string
+	Seeds    []int64
 	// MaxEvents caps each execution; 0 means DefaultSweepMaxEvents, so
 	// one non-quiescent cell cannot stall the whole grid.
 	MaxEvents int
@@ -30,12 +35,21 @@ type Grid struct {
 // fails fast (as a termination violation) instead of stalling the grid.
 const DefaultSweepMaxEvents = 5_000_000
 
-// Scenarios expands the grid. Empty Inputs defaults to {"alternating"};
-// every other axis must be non-empty.
+// Scenarios expands the grid. Empty Inputs defaults to {"alternating"}
+// and the empty fault axes to {"none"}; every other axis must be
+// non-empty.
 func (g Grid) Scenarios() ([]Scenario, error) {
 	inputs := g.Inputs
 	if len(inputs) == 0 {
 		inputs = []string{"alternating"}
+	}
+	crashes := g.Crashes
+	if len(crashes) == 0 {
+		crashes = []string{"none"}
+	}
+	overlays := g.Overlays
+	if len(overlays) == 0 {
+		overlays = []string{"none"}
 	}
 	for name, axis := range map[string]int{
 		"algos": len(g.Algos), "topos": len(g.Topos),
@@ -55,12 +69,17 @@ func (g Grid) Scenarios() ([]Scenario, error) {
 			for _, in := range inputs {
 				for _, sched := range g.Scheds {
 					for _, fack := range g.Facks {
-						for _, seed := range g.Seeds {
-							scs = append(scs, Scenario{
-								Algo: algo, Topo: topo, Inputs: in,
-								Sched: sched, Fack: fack, Seed: seed,
-								MaxEvents: maxEvents,
-							})
+						for _, crash := range crashes {
+							for _, overlay := range overlays {
+								for _, seed := range g.Seeds {
+									scs = append(scs, Scenario{
+										Algo: algo, Topo: topo, Inputs: in,
+										Sched: sched, Fack: fack, Seed: seed,
+										Crashes: crash, Overlay: overlay,
+										MaxEvents: maxEvents,
+									})
+								}
+							}
 						}
 					}
 				}
@@ -95,6 +114,10 @@ type Cell struct {
 	Topo   string `json:"topo"`
 	Inputs string `json:"inputs"`
 	Sched  string `json:"sched"`
+	// Crashes and Overlay are the cell's fault-axis specs ("none" when
+	// the grid had no fault axes).
+	Crashes string `json:"crashes"`
+	Overlay string `json:"overlay"`
 	// Fack is the requested grid-axis value; EffectiveFack is the median
 	// bound the scheduler actually declared. They differ for schedulers
 	// with a structural bound (edgeorder declares MaxDegree+1), which is
@@ -121,6 +144,20 @@ type Cell struct {
 	Decide        Summary `json:"decide_time"`
 	DecidePerFack float64 `json:"decide_per_fack"`
 
+	// SurvivorDecide summarizes the survivor-only decision latency (the
+	// latest decision among non-crashed nodes, per run) over the runs in
+	// which some survivor decided. It coincides with Decide in
+	// fault-free cells and is the meaningful latency under crash
+	// patterns, where Decide may count nodes that decided and then died.
+	SurvivorDecide Summary `json:"survivor_decide_time"`
+
+	// Faults summarizes the number of crashed nodes per run, and
+	// FaultTerminations counts the runs that had at least one crash yet
+	// every survivor still decided — the cell's
+	// "termination despite faults" score.
+	Faults            Summary `json:"faults"`
+	FaultTerminations int     `json:"terminated_despite_faults"`
+
 	// Broadcasts and Deliveries summarize MAC-layer message counts.
 	Broadcasts Summary `json:"broadcasts"`
 	Deliveries Summary `json:"deliveries"`
@@ -130,7 +167,7 @@ type Cell struct {
 }
 
 func (c *Cell) key() string {
-	return fmt.Sprintf("%s|%s|%s|%s|%d", c.Algo, c.Topo, c.Inputs, c.Sched, c.Fack)
+	return fmt.Sprintf("%s|%s|%s|%s|%d|%s|%s", c.Algo, c.Topo, c.Inputs, c.Sched, c.Fack, c.Crashes, c.Overlay)
 }
 
 // OK reports whether every run in the cell was correct.
@@ -174,6 +211,7 @@ func Sweep(scs []Scenario, workers int) ([]Cell, error) {
 type accum struct {
 	cell                           *Cell
 	decide, broadcasts, deliveries []float64
+	survivorDecide, faults         []float64
 	diameters, facks               []float64
 	errSeen                        map[string]bool
 }
@@ -187,7 +225,16 @@ func aggregate(outcomes []*Outcome) []Cell {
 		if in == "" {
 			in = "alternating"
 		}
-		c := Cell{Algo: s.Algo, Topo: s.Topo.String(), Inputs: in, Sched: s.Sched, Fack: s.Fack, N: o.N}
+		crashes := s.Crashes
+		if crashes == "" {
+			crashes = "none"
+		}
+		overlay := s.Overlay
+		if overlay == "" {
+			overlay = "none"
+		}
+		c := Cell{Algo: s.Algo, Topo: s.Topo.String(), Inputs: in, Sched: s.Sched,
+			Crashes: crashes, Overlay: overlay, Fack: s.Fack, N: o.N}
 		a, ok := acc[c.key()]
 		if !ok {
 			a = &accum{cell: &c, errSeen: map[string]bool{}}
@@ -211,6 +258,13 @@ func aggregate(outcomes []*Outcome) []Cell {
 		} else {
 			a.cell.Undecided++
 		}
+		if o.Report.SurvivorDecideTime >= 0 {
+			a.survivorDecide = append(a.survivorDecide, float64(o.Report.SurvivorDecideTime))
+		}
+		a.faults = append(a.faults, float64(o.Report.Crashed))
+		if o.Report.Crashed > 0 && o.Report.Termination {
+			a.cell.FaultTerminations++
+		}
 		a.broadcasts = append(a.broadcasts, float64(o.Result.Broadcasts))
 		a.deliveries = append(a.deliveries, float64(o.Result.Deliveries))
 	}
@@ -223,6 +277,8 @@ func aggregate(outcomes []*Outcome) []Cell {
 		if len(a.decide) > 0 && a.cell.EffectiveFack > 0 {
 			a.cell.DecidePerFack = a.cell.Decide.Median / float64(a.cell.EffectiveFack)
 		}
+		a.cell.SurvivorDecide = summarize(a.survivorDecide)
+		a.cell.Faults = summarize(a.faults)
 		a.cell.Broadcasts = summarize(a.broadcasts)
 		a.cell.Deliveries = summarize(a.deliveries)
 		cells = append(cells, *a.cell)
@@ -256,11 +312,14 @@ func WriteJSON(w io.Writer, cells []Cell) error {
 	return enc.Encode(cells)
 }
 
-// Table renders the cells as a plain-text table.
+// Table renders the cells as a plain-text table. The fault columns report
+// the median crashed-node count, the survivor-only decision latency and
+// how many faulty runs still terminated (see Cell).
 func Table(cells []Cell) *stats.Table {
 	t := &stats.Table{Columns: []string{
-		"algo", "topo", "inputs", "sched", "Fack", "n", "D",
-		"runs", "ok", "decide med", "decide p95", "decide/Fack", "bcast med", "deliv med",
+		"algo", "topo", "inputs", "sched", "crashes", "overlay", "Fack", "n", "D",
+		"runs", "ok", "decide med", "decide p95", "decide/Fack",
+		"faults med", "sdecide med", "term+faults", "bcast med", "deliv med",
 	}}
 	for _, c := range cells {
 		ok := fmt.Sprintf("%d/%d", c.Correct, c.Runs)
@@ -269,8 +328,9 @@ func Table(cells []Cell) *stats.Table {
 			// Structural schedulers override the requested bound.
 			fack = fmt.Sprintf("%d>%d", c.Fack, c.EffectiveFack)
 		}
-		t.AddRow(c.Algo, c.Topo, c.Inputs, c.Sched, fack, c.N, c.Diameter,
+		t.AddRow(c.Algo, c.Topo, c.Inputs, c.Sched, c.Crashes, c.Overlay, fack, c.N, c.Diameter,
 			c.Runs, ok, c.Decide.Median, c.Decide.P95, c.DecidePerFack,
+			c.Faults.Median, c.SurvivorDecide.Median, c.FaultTerminations,
 			c.Broadcasts.Median, c.Deliveries.Median)
 	}
 	return t

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/absmac/absmac/internal/amac"
+	"github.com/absmac/absmac/internal/graph"
+)
+
+// BenchmarkBroadcastPlan measures the engine's broadcast/delivery hot path:
+// every node rebroadcasts on each ack, so the run is a steady stream of
+// plan/validate/deliver cycles and the fixed engine setup is amortized over
+// thousands of broadcasts. allocs/op is the headline number — the plan
+// buffer and event freelist are supposed to keep the steady state free of
+// per-broadcast allocations.
+func BenchmarkBroadcastPlan(b *testing.B) {
+	benchBroadcast(b, graph.Clique(16), nil)
+}
+
+// BenchmarkBroadcastPlanUnreliable is the same workload under a dual-graph
+// configuration (sparse reliable ring plus random unreliable chords), so
+// the unreliable branch of the planning path is costed too.
+func BenchmarkBroadcastPlanUnreliable(b *testing.B) {
+	g := graph.Ring(16)
+	benchBroadcast(b, g, graph.RandomOverlay(g, 24, 7))
+}
+
+func benchBroadcast(b *testing.B, g, u *graph.Graph) {
+	ins := make([]amac.Value, g.N())
+	factory := func(amac.NodeConfig) amac.Algorithm { return &chatterAlg{} }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sched Scheduler = NewRandom(8, 42)
+		if u != nil {
+			sched = NewLossy(sched, 0.5, 42)
+		}
+		res := Run(Config{
+			Graph:      g,
+			Unreliable: u,
+			Inputs:     ins,
+			Factory:    factory,
+			Scheduler:  sched,
+			MaxEvents:  50_000,
+		})
+		if !res.Cutoff {
+			b.Fatalf("chatter workload terminated after %d events", res.Events)
+		}
+		b.ReportMetric(float64(res.Broadcasts), "broadcasts/op")
+	}
+}

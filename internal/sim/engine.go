@@ -29,6 +29,11 @@ type engine struct {
 	now    int64
 	res    *Result
 	maxEvt int
+	// plan is the reusable delivery-plan buffer handed to the scheduler,
+	// and free the event freelist: together they keep the broadcast hot
+	// path allocation-free in the steady state.
+	plan Plan
+	free []*event
 }
 
 // api implements amac.API for one node.
@@ -113,10 +118,29 @@ func (e *engine) crashedBy(i int, t int64) bool {
 	return at >= 0 && at < t
 }
 
-func (e *engine) push(ev *event) {
-	ev.seq = e.nexts
+// alloc takes an event from the freelist, or the heap's allocator when the
+// freelist is dry. release returns a processed event (the message reference
+// is cleared so pooled events do not retain algorithm payloads).
+func (e *engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+func (e *engine) release(ev *event) {
+	ev.msg = nil
+	e.free = append(e.free, ev)
+}
+
+func (e *engine) push(ev event) {
+	p := e.alloc()
+	*p = ev
+	p.seq = e.nexts
 	e.nexts++
-	heap.Push(&e.heap, ev)
+	heap.Push(&e.heap, p)
 }
 
 func (e *engine) broadcast(u int, m amac.Message) bool {
@@ -139,8 +163,21 @@ func (e *engine) broadcast(u int, m amac.Message) bool {
 	if e.cfg.Unreliable != nil {
 		b.Unreliable = e.cfg.Unreliable.Neighbors(u)
 	}
-	plan := e.cfg.Scheduler.Plan(b)
-	e.validatePlan(b, plan)
+
+	// Reset the reusable plan buffer: one slot per recipient, every slot
+	// starting at NoDelivery so schedulers only have to fill what they
+	// deliver.
+	need := len(nbrs) + len(b.Unreliable)
+	if cap(e.plan.Recv) < need {
+		e.plan.Recv = make([]int64, need)
+	}
+	e.plan.Recv = e.plan.Recv[:need]
+	for i := range e.plan.Recv {
+		e.plan.Recv[i] = NoDelivery
+	}
+	e.plan.Ack = 0
+	e.cfg.Scheduler.Plan(b, &e.plan)
+	e.validatePlan(b, &e.plan)
 
 	st.inflight = true
 	st.inMsg = m
@@ -149,21 +186,20 @@ func (e *engine) broadcast(u int, m amac.Message) bool {
 	e.observe(Event{Kind: EventBroadcast, Time: e.now, Node: u, Message: m})
 
 	// Push deliveries in deterministic (reliable-then-unreliable,
-	// index-ordered) order: heap ties break by insertion sequence, and
-	// map iteration order would leak nondeterminism into executions.
-	for _, v := range nbrs {
-		e.push(&event{time: plan.Recv[v], kind: EventDeliver, node: v, peer: u, bseq: b.Seq, msg: m})
+	// index-ordered) order: heap ties break by insertion sequence.
+	for i, v := range nbrs {
+		e.push(event{time: e.plan.Recv[i], kind: EventDeliver, node: v, peer: u, bseq: b.Seq, msg: m})
 	}
-	for _, v := range b.Unreliable {
-		if at, ok := plan.Recv[v]; ok {
-			e.push(&event{time: at, kind: EventDeliver, node: v, peer: u, bseq: b.Seq, msg: m})
+	for i, v := range b.Unreliable {
+		if at := e.plan.Recv[len(nbrs)+i]; at != NoDelivery {
+			e.push(event{time: at, kind: EventDeliver, node: v, peer: u, bseq: b.Seq, msg: m})
 		}
 	}
-	e.push(&event{time: plan.Ack, kind: EventAck, node: u, bseq: b.Seq, msg: m})
+	e.push(event{time: e.plan.Ack, kind: EventAck, node: u, bseq: b.Seq, msg: m})
 	return true
 }
 
-func (e *engine) validatePlan(b Broadcast, p Plan) {
+func (e *engine) validatePlan(b Broadcast, p *Plan) {
 	f := e.cfg.Scheduler.Fack()
 	deadline := b.Now + f
 	checkTiming := func(v int, t int64) {
@@ -177,23 +213,20 @@ func (e *engine) validatePlan(b Broadcast, p Plan) {
 			panic(fmt.Sprintf("sim: scheduler delivers to %d at t=%d, after the ack at t=%d", v, t, p.Ack))
 		}
 	}
-	covered := 0
-	for _, v := range b.Neighbors {
-		t, ok := p.Recv[v]
-		if !ok {
+	if want := len(b.Neighbors) + len(b.Unreliable); len(p.Recv) != want {
+		panic(fmt.Sprintf("sim: scheduler plan has %d slots for %d recipients of sender %d (plans are positional; do not resize Recv)", len(p.Recv), want, b.Sender))
+	}
+	for i, v := range b.Neighbors {
+		t := p.Recv[i]
+		if t == NoDelivery {
 			panic(fmt.Sprintf("sim: scheduler plan misses reliable neighbor %d of sender %d", v, b.Sender))
 		}
 		checkTiming(v, t)
-		covered++
 	}
-	for _, v := range b.Unreliable {
-		if t, ok := p.Recv[v]; ok {
+	for i, v := range b.Unreliable {
+		if t := p.Recv[len(b.Neighbors)+i]; t != NoDelivery {
 			checkTiming(v, t)
-			covered++
 		}
-	}
-	if covered != len(p.Recv) {
-		panic(fmt.Sprintf("sim: scheduler plan covers %d recipients but only %d are neighbors of sender %d", len(p.Recv), covered, b.Sender))
 	}
 	if p.Ack > deadline {
 		panic(fmt.Sprintf("sim: scheduler acks at t=%d, past Fack deadline %d", p.Ack, deadline))
@@ -265,10 +298,12 @@ func (e *engine) run() *Result {
 			// receive the message).
 			if e.crashedBy(ev.node, ev.time) {
 				e.markCrashed(ev.node)
+				e.release(ev)
 				continue
 			}
 			if e.crashedBy(ev.peer, ev.time) {
 				e.markCrashed(ev.peer)
+				e.release(ev)
 				continue
 			}
 			e.res.Deliveries++
@@ -277,6 +312,7 @@ func (e *engine) run() *Result {
 		case EventAck:
 			if e.crashedBy(ev.node, ev.time) {
 				e.markCrashed(ev.node)
+				e.release(ev)
 				continue
 			}
 			st := &e.nodes[ev.node]
@@ -292,6 +328,7 @@ func (e *engine) run() *Result {
 		default:
 			panic(fmt.Sprintf("sim: unexpected heap event kind %v", ev.kind))
 		}
+		e.release(ev)
 
 		if e.cfg.StopWhenDecided && e.allDecided() {
 			break

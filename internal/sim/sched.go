@@ -8,6 +8,13 @@ import (
 // This file implements the message schedulers used throughout the paper's
 // arguments and this repository's experiments. Every scheduler is
 // deterministic given its construction parameters.
+//
+// Plans are positional (see Plan): slot i of p.Recv belongs to
+// b.Neighbors[i], and slots past len(b.Neighbors) to the unreliable
+// recipients. The engine hands every scheduler a pre-sized buffer filled
+// with NoDelivery, so base schedulers only write the slots they deliver
+// and wrapping schedulers mutate the filled buffer in place — the planning
+// path performs no allocation.
 
 // Synchronous is the paper's synchronous scheduler (Section 3.2): message
 // behaviour proceeds in lock-step rounds of duration Round. All deliveries
@@ -30,15 +37,14 @@ func (s Synchronous) round() int64 {
 func (s Synchronous) Fack() int64 { return s.round() }
 
 // Plan implements Scheduler.
-func (s Synchronous) Plan(b Broadcast) Plan {
+func (s Synchronous) Plan(b Broadcast, p *Plan) {
 	r := s.round()
 	// Next round boundary strictly after Now.
 	at := (b.Now/r + 1) * r
-	recv := make(map[int]int64, len(b.Neighbors))
-	for _, v := range b.Neighbors {
-		recv[v] = at
+	for i := range b.Neighbors {
+		p.Recv[i] = at
 	}
-	return Plan{Recv: recv, Ack: at}
+	p.Ack = at
 }
 
 // MaxDelay delays every delivery and ack to exactly Fack after the
@@ -56,13 +62,12 @@ func (s MaxDelay) Fack() int64 {
 }
 
 // Plan implements Scheduler.
-func (s MaxDelay) Plan(b Broadcast) Plan {
+func (s MaxDelay) Plan(b Broadcast, p *Plan) {
 	at := b.Now + s.Fack()
-	recv := make(map[int]int64, len(b.Neighbors))
-	for _, v := range b.Neighbors {
-		recv[v] = at
+	for i := range b.Neighbors {
+		p.Recv[i] = at
 	}
-	return Plan{Recv: recv, Ack: at}
+	p.Ack = at
 }
 
 // Random delivers each message at an independent uniform time in
@@ -87,12 +92,11 @@ func NewRandom(f, seed int64) *Random {
 func (s *Random) Fack() int64 { return s.F }
 
 // Plan implements Scheduler.
-func (s *Random) Plan(b Broadcast) Plan {
-	recv := make(map[int]int64, len(b.Neighbors))
+func (s *Random) Plan(b Broadcast, p *Plan) {
 	latest := b.Now + 1
-	for _, v := range b.Neighbors {
+	for i := range b.Neighbors {
 		t := b.Now + 1 + s.rng.Int63n(s.F)
-		recv[v] = t
+		p.Recv[i] = t
 		if t > latest {
 			latest = t
 		}
@@ -101,7 +105,7 @@ func (s *Random) Plan(b Broadcast) Plan {
 	if room := b.Now + s.F - latest; room > 0 {
 		ack += s.rng.Int63n(room + 1)
 	}
-	return Plan{Recv: recv, Ack: ack}
+	p.Ack = ack
 }
 
 // Gate wraps a base scheduler and silences a set of senders until a global
@@ -122,18 +126,19 @@ type Gate struct {
 func (s Gate) Fack() int64 { return s.Until + s.Base.Fack() }
 
 // Plan implements Scheduler.
-func (s Gate) Plan(b Broadcast) Plan {
-	p := s.Base.Plan(b)
+func (s Gate) Plan(b Broadcast, p *Plan) {
+	s.Base.Plan(b, p)
 	if !s.Gated[b.Sender] || b.Now >= s.Until {
-		return p
+		return
 	}
 	// Shift the base plan's relative offsets past the gate.
 	shift := s.Until - b.Now
-	recv := make(map[int]int64, len(p.Recv))
-	for v, t := range p.Recv {
-		recv[v] = t + shift
+	for i, t := range p.Recv {
+		if t != NoDelivery {
+			p.Recv[i] = t + shift
+		}
 	}
-	return Plan{Recv: recv, Ack: p.Ack + shift}
+	p.Ack += shift
 }
 
 // SlowSubset wraps a base scheduler and multiplies the relative delays of
@@ -156,20 +161,21 @@ func (s SlowSubset) Fack() int64 {
 }
 
 // Plan implements Scheduler.
-func (s SlowSubset) Plan(b Broadcast) Plan {
-	p := s.Base.Plan(b)
+func (s SlowSubset) Plan(b Broadcast, p *Plan) {
+	s.Base.Plan(b, p)
 	if !s.Slow[b.Sender] {
-		return p
+		return
 	}
 	f := s.Factor
 	if f < 1 {
 		f = 1
 	}
-	recv := make(map[int]int64, len(p.Recv))
-	for v, t := range p.Recv {
-		recv[v] = b.Now + (t-b.Now)*f
+	for i, t := range p.Recv {
+		if t != NoDelivery {
+			p.Recv[i] = b.Now + (t-b.Now)*f
+		}
 	}
-	return Plan{Recv: recv, Ack: b.Now + (p.Ack-b.Now)*f}
+	p.Ack = b.Now + (p.Ack-b.Now)*f
 }
 
 // EdgeOrder delivers each broadcast's messages one neighbor at a time in a
@@ -187,28 +193,27 @@ type EdgeOrder struct {
 func (s EdgeOrder) Fack() int64 { return int64(s.MaxDegree) + 1 }
 
 // Plan implements Scheduler.
-func (s EdgeOrder) Plan(b Broadcast) Plan {
-	if len(b.Neighbors) > s.MaxDegree {
-		panic(fmt.Sprintf("sim: EdgeOrder.MaxDegree=%d below degree %d of node %d", s.MaxDegree, len(b.Neighbors), b.Sender))
+func (s EdgeOrder) Plan(b Broadcast, p *Plan) {
+	d := len(b.Neighbors)
+	if d > s.MaxDegree {
+		panic(fmt.Sprintf("sim: EdgeOrder.MaxDegree=%d below degree %d of node %d", s.MaxDegree, d, b.Sender))
 	}
-	order := append([]int(nil), b.Neighbors...)
-	// Neighbors come sorted ascending from graph.Sort-ed topologies, but
-	// sort defensively by index via insertion (lists are short).
-	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && order[j] < order[j-1]; j-- {
-			order[j], order[j-1] = order[j-1], order[j]
+	// Each neighbor's slot is its rank in the node-index serialization.
+	// Neighbor lists are short, so the O(d^2) rank count stays cheaper
+	// than sorting a scratch copy — and it allocates nothing.
+	for i, v := range b.Neighbors {
+		rank := 0
+		for j, w := range b.Neighbors {
+			if w < v || (w == v && j < i) {
+				rank++
+			}
 		}
-	}
-	if s.Descending {
-		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
-			order[i], order[j] = order[j], order[i]
+		if s.Descending {
+			rank = d - 1 - rank
 		}
+		p.Recv[i] = b.Now + int64(rank) + 1
 	}
-	recv := make(map[int]int64, len(order))
-	for i, v := range order {
-		recv[v] = b.Now + int64(i) + 1
-	}
-	return Plan{Recv: recv, Ack: b.Now + int64(len(order)) + 1}
+	p.Ack = b.Now + int64(d) + 1
 }
 
 // Lossy adapts any base scheduler to dual-graph (unreliable link)
@@ -239,9 +244,10 @@ func NewLossy(base Scheduler, p float64, seed int64) *Lossy {
 func (s *Lossy) Fack() int64 { return s.Base.Fack() }
 
 // Plan implements Scheduler.
-func (s *Lossy) Plan(b Broadcast) Plan {
-	p := s.Base.Plan(b)
-	for _, v := range b.Unreliable {
+func (s *Lossy) Plan(b Broadcast, p *Plan) {
+	s.Base.Plan(b, p)
+	nr := len(b.Neighbors)
+	for i := range b.Unreliable {
 		if s.rng.Float64() >= s.P {
 			continue
 		}
@@ -249,12 +255,12 @@ func (s *Lossy) Plan(b Broadcast) Plan {
 		if span < 1 {
 			span = 1
 		}
-		p.Recv[v] = b.Now + 1 + s.rng.Int63n(span)
-		if p.Recv[v] > p.Ack {
-			p.Recv[v] = p.Ack
+		t := b.Now + 1 + s.rng.Int63n(span)
+		if t > p.Ack {
+			t = p.Ack
 		}
+		p.Recv[nr+i] = t
 	}
-	return p
 }
 
 var (

@@ -3,9 +3,11 @@
 //
 // All nondeterminism in the model lives in the message scheduler, so the
 // simulator delegates every timing decision to a pluggable Scheduler: at
-// each broadcast the scheduler returns a delivery plan (a receive time per
-// neighbor plus an acknowledgment time), and the engine executes plans on a
-// virtual-time event heap. The engine validates every plan against the
+// each broadcast the scheduler fills a delivery plan (a receive time per
+// neighbor plus an acknowledgment time) into an engine-owned reusable
+// buffer, and the engine executes plans on a virtual-time event heap whose
+// entries are pooled — the steady-state broadcast path allocates nothing.
+// The engine validates every plan against the
 // model contract — deliveries strictly after the broadcast, the ack no
 // earlier than any delivery, everything within the scheduler's declared
 // Fack — so a buggy scheduler fails loudly instead of silently producing an
@@ -47,13 +49,25 @@ type Broadcast struct {
 	Message amac.Message
 }
 
-// Plan gives the absolute virtual times at which each neighbor receives the
-// message and at which the sender is acked. A valid plan satisfies
-// Now < Recv[v] <= Ack <= Now+Fack for every reliable neighbor v; it must
-// cover every reliable neighbor and may additionally include any subset of
-// the unreliable neighbors (same timing constraints).
+// NoDelivery marks a plan slot whose recipient is skipped. Only unreliable
+// recipients may be skipped; a reliable slot left at NoDelivery is a
+// scheduler contract violation.
+const NoDelivery int64 = -1
+
+// Plan gives the absolute virtual times at which each recipient receives
+// the message and at which the sender is acked. Recv is positional: slot i
+// belongs to Broadcast.Neighbors[i] when i < len(Neighbors) and to
+// Broadcast.Unreliable[i-len(Neighbors)] otherwise. A valid plan satisfies
+// Now < Recv[i] <= Ack <= Now+Fack for every reliable slot; unreliable
+// slots may instead hold NoDelivery (the scheduler declines that edge).
+//
+// The engine owns the Recv buffer and reuses it across broadcasts — it
+// arrives pre-sized to the recipient count with every slot set to
+// NoDelivery, so the broadcast hot path performs no per-plan allocation.
+// Schedulers must fill slots in place and must not grow, shrink or retain
+// the slice.
 type Plan struct {
-	Recv map[int]int64
+	Recv []int64
 	Ack  int64
 }
 
@@ -64,8 +78,10 @@ type Scheduler interface {
 	// Fack returns the scheduler's delivery bound. The engine enforces
 	// it; algorithms never see it.
 	Fack() int64
-	// Plan produces the delivery plan for one broadcast.
-	Plan(b Broadcast) Plan
+	// Plan fills p with the delivery plan for one broadcast. See Plan
+	// for the buffer contract. Wrapping schedulers (Gate, SlowSubset,
+	// Lossy) delegate to their base and then mutate p in place.
+	Plan(b Broadcast, p *Plan)
 }
 
 // Crash schedules a crash failure: node Node halts at time At. Deliveries

@@ -33,16 +33,22 @@ func onceFactory(cfg amac.NodeConfig) amac.Algorithm {
 	return &onceAlg{input: cfg.Input}
 }
 
-// chatterAlg rebroadcasts forever; used to exercise the MaxEvents cutoff.
-type chatterAlg struct{ api amac.API }
+// chatterAlg rebroadcasts forever; used to exercise the MaxEvents cutoff
+// and the hot-path benchmarks. The message is boxed once so the steady
+// state measures the engine, not interface conversion.
+type chatterAlg struct {
+	api amac.API
+	msg amac.Message
+}
 
 func (a *chatterAlg) Start(api amac.API) {
 	a.api = api
-	api.Broadcast(testMsg{tag: "chatter"})
+	a.msg = testMsg{tag: "chatter"}
+	api.Broadcast(a.msg)
 }
 func (a *chatterAlg) OnReceive(amac.Message) {}
 func (a *chatterAlg) OnAck(amac.Message) {
-	a.api.Broadcast(testMsg{tag: "chatter"})
+	a.api.Broadcast(a.msg)
 }
 
 // recorderAlg records everything it receives; never broadcasts or decides.
@@ -424,31 +430,35 @@ func TestConfigValidation(t *testing.T) {
 func TestBadSchedulerPanics(t *testing.T) {
 	cases := []struct {
 		name string
-		plan func(b Broadcast) Plan
+		plan func(b Broadcast, p *Plan)
 	}{
-		{"late delivery", func(b Broadcast) Plan {
-			p := Plan{Recv: map[int]int64{}, Ack: b.Now + 100}
-			for _, v := range b.Neighbors {
-				p.Recv[v] = b.Now + 100
+		{"late delivery", func(b Broadcast, p *Plan) {
+			for i := range b.Neighbors {
+				p.Recv[i] = b.Now + 100
 			}
-			return p
+			p.Ack = b.Now + 100
 		}},
-		{"delivery at now", func(b Broadcast) Plan {
-			p := Plan{Recv: map[int]int64{}, Ack: b.Now + 1}
-			for _, v := range b.Neighbors {
-				p.Recv[v] = b.Now
+		{"delivery at now", func(b Broadcast, p *Plan) {
+			for i := range b.Neighbors {
+				p.Recv[i] = b.Now
 			}
-			return p
+			p.Ack = b.Now + 1
 		}},
-		{"ack before delivery", func(b Broadcast) Plan {
-			p := Plan{Recv: map[int]int64{}, Ack: b.Now + 1}
-			for _, v := range b.Neighbors {
-				p.Recv[v] = b.Now + 2
+		{"ack before delivery", func(b Broadcast, p *Plan) {
+			for i := range b.Neighbors {
+				p.Recv[i] = b.Now + 2
 			}
-			return p
+			p.Ack = b.Now + 1
 		}},
-		{"missing neighbor", func(b Broadcast) Plan {
-			return Plan{Recv: map[int]int64{}, Ack: b.Now + 1}
+		{"missing neighbor", func(b Broadcast, p *Plan) {
+			p.Ack = b.Now + 1 // every Recv slot left at NoDelivery
+		}},
+		{"resized plan", func(b Broadcast, p *Plan) {
+			for i := range b.Neighbors {
+				p.Recv[i] = b.Now + 1
+			}
+			p.Recv = append(p.Recv, b.Now+1) // a slot with no recipient
+			p.Ack = b.Now + 1
 		}},
 	}
 	for _, tc := range cases {
@@ -469,11 +479,11 @@ func TestBadSchedulerPanics(t *testing.T) {
 }
 
 type planFunc struct {
-	f func(Broadcast) Plan
+	f func(Broadcast, *Plan)
 }
 
-func (p planFunc) Fack() int64           { return 10 }
-func (p planFunc) Plan(b Broadcast) Plan { return p.f(b) }
+func (p planFunc) Fack() int64                { return 10 }
+func (p planFunc) Plan(b Broadcast, pl *Plan) { p.f(b, pl) }
 
 func TestDefaultIDsAssigned(t *testing.T) {
 	var ids []amac.NodeID

@@ -104,14 +104,14 @@ func TestUnreliableValidation(t *testing.T) {
 }
 
 func TestPlanMayNotInventRecipients(t *testing.T) {
-	// A scheduler delivering to a non-neighbor must be rejected.
-	bad := planFunc{f: func(b Broadcast) Plan {
-		p := Plan{Recv: map[int]int64{}, Ack: b.Now + 1}
-		for _, v := range b.Neighbors {
-			p.Recv[v] = b.Now + 1
+	// Plans are positional, so delivering to a non-neighbor means growing
+	// the slot buffer past the recipient list — which must be rejected.
+	bad := planFunc{f: func(b Broadcast, p *Plan) {
+		for i := range b.Neighbors {
+			p.Recv[i] = b.Now + 1
 		}
-		p.Recv[99] = b.Now + 1 // not a neighbor of anyone
-		return p
+		p.Recv = append(p.Recv, b.Now+1) // a 99th slot with no recipient
+		p.Ack = b.Now + 1
 	}}
 	defer func() {
 		if recover() == nil {
@@ -124,6 +124,78 @@ func TestPlanMayNotInventRecipients(t *testing.T) {
 		Factory:   onceFactory,
 		Scheduler: bad,
 	})
+}
+
+// TestMidBroadcastCrashDropsPendingUnreliable pins the crash x unreliable
+// interaction: a sender that crashes mid-broadcast loses exactly the
+// deliveries (reliable AND unreliable) planned after its crash time, plus
+// the ack — deliveries planned at or before the crash time still land.
+func TestMidBroadcastCrashDropsPendingUnreliable(t *testing.T) {
+	// Base: line 0-1-2-3. Unreliable overlay: chords {0,2} and {0,3}.
+	// The scheduler delivers node 0's broadcast to its reliable neighbor
+	// 1 at t=1, then over the unreliable chords to 2 at t=2 and 3 at
+	// t=3, acking at t=4. Node 0 crashes at t=2: the t=1 and t=2
+	// deliveries happen (a crash at T takes effect strictly after T),
+	// the t=3 unreliable delivery and the ack are lost.
+	g := graph.Line(4)
+	u := graph.New(4)
+	u.AddEdge(0, 2)
+	u.AddEdge(0, 3)
+	sched := planFunc{f: func(b Broadcast, p *Plan) {
+		for i := range b.Neighbors {
+			p.Recv[i] = b.Now + 1
+		}
+		for i := range b.Unreliable {
+			p.Recv[len(b.Neighbors)+i] = b.Now + 2 + int64(i)
+		}
+		p.Ack = b.Now + 2 + int64(len(b.Unreliable))
+	}}
+
+	recorders := make([]*recorderAlg, 4)
+	factory := func(cfg amac.NodeConfig) amac.Algorithm {
+		i := int(cfg.ID) - 1
+		if i == 0 {
+			return &onceAlg{input: cfg.Input}
+		}
+		recorders[i] = &recorderAlg{}
+		return recorders[i]
+	}
+	res := Run(Config{
+		Graph:      g,
+		Unreliable: u,
+		Inputs:     inputs(0, 0, 0, 0),
+		Factory:    factory,
+		Scheduler:  sched,
+		Crashes:    []Crash{{Node: 0, At: 2}},
+	})
+
+	from0 := func(i int) int {
+		n := 0
+		for _, m := range recorders[i].got {
+			if msg, ok := m.(testMsg); ok && msg.from == 1 {
+				n++
+			}
+		}
+		return n
+	}
+	if from0(1) != 1 {
+		t.Fatalf("reliable neighbor 1 got %d messages from node 0, want 1 (delivered at t=1, before the crash)", from0(1))
+	}
+	if from0(2) != 1 {
+		t.Fatalf("unreliable chord {0,2} delivered %d messages, want 1 (t=2 is not after the crash at 2)", from0(2))
+	}
+	if from0(3) != 0 {
+		t.Fatalf("unreliable chord {0,3} delivered %d messages, want 0 (planned at t=3, after the crash)", from0(3))
+	}
+	if res.Acks != 0 {
+		t.Fatalf("acks=%d, want 0 (the mid-broadcast crash loses the ack)", res.Acks)
+	}
+	if res.Decided[0] {
+		t.Fatal("crashed sender decided")
+	}
+	if !res.Crashed[0] {
+		t.Fatal("node 0 not marked crashed")
+	}
 }
 
 func TestLossyDeterministic(t *testing.T) {
