@@ -227,16 +227,19 @@ func runSweep(algos, topos, scheds, facks, inputs, crashes, overlays string, see
 		grid.Seeds = append(grid.Seeds, s)
 	}
 
-	scs, err := grid.Scenarios()
+	// Expand to cell work-units and sweep them directly: one worker runs
+	// all seeds of a cell on one reusable engine, and workers share the
+	// sweep's topology/diameter/overlay caches.
+	work, err := grid.Cells()
 	if err != nil {
 		return fail(err)
 	}
-	cells, err := harness.Sweep(scs, workers)
+	cells, err := harness.SweepCells(work, workers)
 	if err != nil {
 		return fail(err)
 	}
 	if !jsonOut {
-		fmt.Printf("%d scenarios, %d cells\n\n", len(scs), len(cells))
+		fmt.Printf("%d scenarios, %d cells\n\n", len(work)*len(grid.Seeds), len(cells))
 	}
 	bad, err := harness.Report(os.Stdout, cells, jsonOut)
 	if err != nil {

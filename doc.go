@@ -17,7 +17,12 @@
 // topologies, input patterns, schedulers, crash patterns and unreliable
 // overlays in registries, assembles them into runnable Scenario values,
 // and sweeps scenario grids in parallel with per-cell latency, fault and
-// message statistics. The two adversity registries put the paper's fault
+// message statistics. Sweeps are cell-grouped: a grid expands into cell
+// work-units (all seeds of one axis combination), each cell runs its
+// seeds back to back on a reusable simulator engine, and workers share
+// per-sweep caches of built topologies, their diameters and overlay dual
+// graphs keyed by (topo, seed) — so everything that depends only on the
+// topology and seed is computed once per sweep, not once per scenario. The two adversity registries put the paper's fault
 // models on sweep axes: crash patterns (none, one@T, coordinator,
 // midbroadcast, minorityrand) schedule the crash failures of Theorem 3.2
 // — including the mid-broadcast crash that loses part of a delivery plan

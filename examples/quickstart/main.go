@@ -47,4 +47,32 @@ func main() {
 	fmt.Printf("agreed value: %d\n", rep.Value)
 	fmt.Printf("decide time:  %d (Fack=10; Theorem 4.1 promises O(Fack))\n", res.MaxDecideTime)
 	fmt.Printf("agreement=%v validity=%v termination=%v\n", rep.Agreement, rep.Validity, rep.Termination)
+
+	// One execution is an anecdote; the harness measures distributions.
+	// A Grid expands to cell work-units — here a single cell whose seeds
+	// 1..32 replicate the scenario above — and SweepCells runs each cell's
+	// seeds back to back on a reusable engine, aggregating latency and
+	// message statistics. (This is the same path behind `amacsim -sweep`.)
+	seeds := make([]int64, 32)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	work, err := harness.Grid{
+		Algos:  []string{"twophase"},
+		Topos:  []harness.Topo{{Kind: "clique", N: n}},
+		Scheds: []string{"random"},
+		Facks:  []int64{10},
+		Inputs: []string{"half"},
+		Seeds:  seeds,
+	}.Cells()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cells, err := harness.SweepCells(work, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := cells[0]
+	fmt.Printf("\nacross %d seeds of the same cell: correct %d/%d, decide time median %.0f p95 %.0f (x Fack: %.2f)\n",
+		len(seeds), c.Correct, c.Runs, c.Decide.Median, c.Decide.P95, c.DecidePerFack)
 }

@@ -60,17 +60,33 @@ type DecideMsg struct {
 	Val amac.Value
 }
 
-// Combined multiplexes one message per queue into a single broadcast.
+// Combined multiplexes one message per queue into a single broadcast. The
+// sender fills the unexported inline slots and points the exported fields
+// at them, so assembling a broadcast allocates nothing beyond the Combined
+// itself — and nothing at all once a pooling node (see NewFactory) has
+// recycled its first message.
 type Combined struct {
 	Leader   *LeaderMsg
 	Change   *ChangeMsg
 	Proposer *ProposerMsg
 	Response *ResponseMsg
 	Decide   *DecideMsg
+
+	// buf backs the pointer fields above when the message is assembled by
+	// pump. Receivers must treat a delivered Combined as immutable and
+	// copy what they keep (they do), because pooling senders reuse the
+	// whole object — buf included — after the ack.
+	buf struct {
+		leader   LeaderMsg
+		change   ChangeMsg
+		proposer ProposerMsg
+		response ResponseMsg
+		decide   DecideMsg
+	}
 }
 
 // IDCount implements amac.Message.
-func (m Combined) IDCount() int {
+func (m *Combined) IDCount() int {
 	c := 0
 	if m.Leader != nil {
 		c++
@@ -99,7 +115,10 @@ type respKey struct {
 	acceptor amac.NodeID
 }
 
-// Node is the per-node state machine.
+// Node is the per-node state machine. The outbound queues (leaderQ,
+// changeQ, propQ, decideQ) are value slots with presence flags and respQ
+// pops through a head index, so queue traffic allocates only when respQ
+// has to grow.
 type Node struct {
 	api   amac.API
 	id    amac.NodeID
@@ -107,15 +126,19 @@ type Node struct {
 	input amac.Value
 
 	omega      amac.NodeID
-	leaderQ    *LeaderMsg
+	hasLeaderQ bool
+	leaderQ    LeaderMsg
 	lastChange int64
-	changeQ    *ChangeMsg
+	hasChangeQ bool
+	changeQ    ChangeMsg
 
-	propQ        *ProposerMsg
+	hasPropQ     bool
+	propQ        ProposerMsg
 	seenProps    map[wpaxos.Proposition]bool
 	maxLeaderNum wpaxos.ProposalNum
 
 	respQ    []ResponseMsg
+	respHead int
 	seenResp map[respKey]bool
 
 	promised wpaxos.ProposalNum
@@ -130,13 +153,23 @@ type Node struct {
 	bestPrev   *wpaxos.Proposal
 	value      amac.Value
 
-	decideQ  *DecideMsg
-	inflight bool
-	decided  bool
-	decision amac.Value
+	hasDecideQ bool
+	decideQ    DecideMsg
+	inflight   bool
+	decided    bool
+	decision   amac.Value
+
+	// reuse recycles broadcast buffers through msgFree after each ack
+	// (see NewFactory for the substrate guarantee this relies on). A node
+	// has at most one broadcast in flight, so the pool holds at most one
+	// message.
+	reuse   bool
+	msgFree []*Combined
 }
 
-// New returns a flood-paxos node knowing the network size n.
+// New returns a flood-paxos node knowing the network size n. Nodes built
+// this way allocate a fresh message per broadcast and are safe on any
+// substrate; NewFactory enables buffer reuse for simulator runs.
 func New(input amac.Value, n int) *Node {
 	if n < 1 {
 		panic(fmt.Sprintf("floodpaxos: invalid network size %d", n))
@@ -145,16 +178,43 @@ func New(input amac.Value, n int) *Node {
 		panic(fmt.Sprintf("floodpaxos: input %d is not binary", input))
 	}
 	return &Node{
-		n:         n,
-		input:     input,
-		seenProps: make(map[wpaxos.Proposition]bool),
-		seenResp:  make(map[respKey]bool),
+		n:     n,
+		input: input,
+		// Sized for the common census: a couple of propositions, each
+		// drawing one response per acceptor, deduped network-wide. Sizing
+		// up front trades one allocation for the incremental bucket
+		// growth that otherwise dominates the flood path.
+		seenProps: make(map[wpaxos.Proposition]bool, 8),
+		seenResp:  make(map[respKey]bool, 4*n),
+		respQ:     make([]ResponseMsg, 0, 2*n),
 	}
 }
 
-// NewFactory returns a factory for networks of the given size.
+// NewFactory returns a factory for networks of the given size. Nodes it
+// builds recycle their broadcast buffer after each ack, which makes the
+// steady-state broadcast path allocation-free. Reuse relies on the
+// delivery-before-ack guarantee of serialized substrates — by the time the
+// sender's OnAck runs, every OnReceive handler for that broadcast has
+// returned (internal/sim's engine orders co-timed deliveries before acks
+// and runs handlers serially). On wall-clock substrates (internal/live,
+// internal/netmac), where a receiver may still be processing the message
+// when the ack lands, build nodes with New instead.
 func NewFactory(n int) amac.Factory {
-	return func(cfg amac.NodeConfig) amac.Algorithm { return New(cfg.Input, n) }
+	return func(cfg amac.NodeConfig) amac.Algorithm {
+		a := New(cfg.Input, n)
+		a.reuse = true
+		return a
+	}
+}
+
+// getMsg takes a broadcast buffer from the pool, or allocates one.
+func (a *Node) getMsg() *Combined {
+	if k := len(a.msgFree); k > 0 {
+		c := a.msgFree[k-1]
+		a.msgFree = a.msgFree[:k-1]
+		return c
+	}
+	return &Combined{}
 }
 
 // Start implements amac.Algorithm.
@@ -162,7 +222,8 @@ func (a *Node) Start(api amac.API) {
 	a.api = api
 	a.id = api.ID()
 	a.omega = a.id
-	a.leaderQ = &LeaderMsg{ID: a.id}
+	a.hasLeaderQ = true
+	a.leaderQ = LeaderMsg{ID: a.id}
 	a.lastChange = -1
 	if a.n == 1 {
 		a.decide(a.input)
@@ -173,28 +234,32 @@ func (a *Node) Start(api amac.API) {
 
 // OnReceive implements amac.Algorithm.
 func (a *Node) OnReceive(m amac.Message) {
-	c, ok := m.(Combined)
+	c, ok := m.(*Combined)
 	if !ok {
 		panic(fmt.Sprintf("floodpaxos: unexpected message type %T", m))
 	}
 	if c.Leader != nil && c.Leader.ID > a.omega {
 		a.omega = c.Leader.ID
-		a.leaderQ = &LeaderMsg{ID: a.omega}
-		if a.propQ != nil && a.propQ.Num.ID != a.omega {
-			a.propQ = nil
+		a.hasLeaderQ = true
+		a.leaderQ = LeaderMsg{ID: a.omega}
+		if a.hasPropQ && a.propQ.Num.ID != a.omega {
+			a.hasPropQ = false
 		}
 		a.maxLeaderNum = wpaxos.ProposalNum{}
 		a.respQ = a.respQ[:0]
+		a.respHead = 0
 		// A leader update is the change event.
 		a.lastChange = a.api.Now()
-		a.changeQ = &ChangeMsg{T: a.lastChange, ID: a.id}
+		a.hasChangeQ = true
+		a.changeQ = ChangeMsg{T: a.lastChange, ID: a.id}
 		if a.omega == a.id {
 			a.generateProposal()
 		}
 	}
 	if c.Change != nil && c.Change.T > a.lastChange {
 		a.lastChange = c.Change.T
-		a.changeQ = &ChangeMsg{T: c.Change.T, ID: c.Change.ID}
+		a.hasChangeQ = true
+		a.changeQ = ChangeMsg{T: c.Change.T, ID: c.Change.ID}
 		if a.omega == a.id {
 			a.generateProposal()
 		}
@@ -207,14 +272,22 @@ func (a *Node) OnReceive(m amac.Message) {
 	}
 	if c.Decide != nil && !a.decided {
 		a.decide(c.Decide.Val)
-		a.decideQ = &DecideMsg{Val: c.Decide.Val}
+		a.hasDecideQ = true
+		a.decideQ = DecideMsg{Val: c.Decide.Val}
 	}
 	a.pump()
 }
 
 // OnAck implements amac.Algorithm.
-func (a *Node) OnAck(amac.Message) {
+func (a *Node) OnAck(m amac.Message) {
 	a.inflight = false
+	if a.reuse {
+		// Every delivery handler for this broadcast has returned (the
+		// NewFactory contract), so the buffer can be recycled.
+		c := m.(*Combined)
+		*c = Combined{}
+		a.msgFree = append(a.msgFree, c)
+	}
 	a.pump()
 }
 
@@ -222,33 +295,50 @@ func (a *Node) pump() {
 	if a.inflight {
 		return
 	}
-	var c Combined
-	any := false
-	if a.decideQ != nil {
-		c.Decide, a.decideQ = a.decideQ, nil
-		any = true
+	var c *Combined
+	// ensure allocates the outgoing message only once something queued.
+	ensure := func() {
+		if c == nil {
+			c = a.getMsg()
+		}
+	}
+	if a.hasDecideQ {
+		ensure()
+		c.buf.decide = a.decideQ
+		c.Decide = &c.buf.decide
+		a.hasDecideQ = false
 	}
 	if !a.decided {
-		if a.leaderQ != nil {
-			c.Leader, a.leaderQ = a.leaderQ, nil
-			any = true
+		if a.hasLeaderQ {
+			ensure()
+			c.buf.leader = a.leaderQ
+			c.Leader = &c.buf.leader
+			a.hasLeaderQ = false
 		}
-		if a.changeQ != nil {
-			c.Change, a.changeQ = a.changeQ, nil
-			any = true
+		if a.hasChangeQ {
+			ensure()
+			c.buf.change = a.changeQ
+			c.Change = &c.buf.change
+			a.hasChangeQ = false
 		}
-		if a.propQ != nil {
-			c.Proposer, a.propQ = a.propQ, nil
-			any = true
+		if a.hasPropQ {
+			ensure()
+			c.buf.proposer = a.propQ
+			c.Proposer = &c.buf.proposer
+			a.hasPropQ = false
 		}
-		if len(a.respQ) > 0 {
-			r := a.respQ[0]
-			a.respQ = a.respQ[1:]
-			c.Response = &r
-			any = true
+		if a.respHead < len(a.respQ) {
+			ensure()
+			c.buf.response = a.respQ[a.respHead]
+			c.Response = &c.buf.response
+			a.respHead++
+			if a.respHead == len(a.respQ) {
+				a.respQ = a.respQ[:0]
+				a.respHead = 0
+			}
 		}
 	}
-	if !any {
+	if c == nil {
 		return
 	}
 	a.inflight = true
@@ -268,9 +358,10 @@ func (a *Node) onProposer(m ProposerMsg) {
 		return
 	}
 	a.noteLeaderNum(m.Num)
-	if a.propQ == nil || a.propQ.Num.Less(m.Num) ||
+	if !a.hasPropQ || a.propQ.Num.Less(m.Num) ||
 		(a.propQ.Num == m.Num && a.propQ.Kind == wpaxos.Prepare && m.Kind == wpaxos.Propose) {
-		a.propQ = &m
+		a.hasPropQ = true
+		a.propQ = m
 	}
 	a.respond(m)
 }
@@ -278,13 +369,16 @@ func (a *Node) onProposer(m ProposerMsg) {
 func (a *Node) noteLeaderNum(num wpaxos.ProposalNum) {
 	if a.maxLeaderNum.Less(num) {
 		a.maxLeaderNum = num
+		// Compact the pending responses in place: the write index starts
+		// at 0 and never passes the read index (which starts at respHead).
 		kept := a.respQ[:0]
-		for _, r := range a.respQ {
+		for _, r := range a.respQ[a.respHead:] {
 			if !r.Prop.Num.Less(num) {
 				kept = append(kept, r)
 			}
 		}
 		a.respQ = kept
+		a.respHead = 0
 	}
 }
 
@@ -345,18 +439,30 @@ func (a *Node) generateProposal() {
 	a.startProposal()
 }
 
+// resetTallies re-arms the ack/nack tallies for a new phase, reusing the
+// maps across phases and proposals.
+func (a *Node) resetTallies() {
+	if a.acks == nil {
+		a.acks = make(map[amac.NodeID]bool, a.n)
+		a.nacks = make(map[amac.NodeID]bool, a.n)
+		return
+	}
+	clear(a.acks)
+	clear(a.nacks)
+}
+
 func (a *Node) startProposal() {
 	a.triesLeft--
 	a.maxTagSeen++
 	a.num = wpaxos.ProposalNum{Tag: a.maxTagSeen, ID: a.id}
 	a.phase = 1
-	a.acks = make(map[amac.NodeID]bool, a.n)
-	a.nacks = make(map[amac.NodeID]bool, a.n)
+	a.resetTallies()
 	a.bestPrev = nil
 	m := ProposerMsg{Kind: wpaxos.Prepare, Num: a.num}
 	a.seenProps[m.Proposition()] = true
 	a.noteLeaderNum(a.num)
-	a.propQ = &m
+	a.hasPropQ = true
+	a.propQ = m
 	a.respond(m)
 }
 
@@ -383,7 +489,8 @@ func (a *Node) consume(r ResponseMsg) {
 			}
 		} else if 2*len(a.acks) > a.n {
 			a.decide(a.value)
-			a.decideQ = &DecideMsg{Val: a.value}
+			a.hasDecideQ = true
+			a.decideQ = DecideMsg{Val: a.value}
 		}
 		return
 	}
@@ -395,8 +502,7 @@ func (a *Node) consume(r ResponseMsg) {
 
 func (a *Node) beginPropose() {
 	a.phase = 2
-	a.acks = make(map[amac.NodeID]bool, a.n)
-	a.nacks = make(map[amac.NodeID]bool, a.n)
+	a.resetTallies()
 	if a.bestPrev != nil {
 		a.value = a.bestPrev.Val
 	} else {
@@ -404,7 +510,8 @@ func (a *Node) beginPropose() {
 	}
 	m := ProposerMsg{Kind: wpaxos.Propose, Num: a.num, Val: a.value}
 	a.seenProps[m.Proposition()] = true
-	a.propQ = &m
+	a.hasPropQ = true
+	a.propQ = m
 	a.respond(m)
 }
 
@@ -429,5 +536,5 @@ func (a *Node) Decided() (amac.Value, bool) { return a.decision, a.decided }
 var (
 	_ amac.Algorithm = (*Node)(nil)
 	_ amac.Decider   = (*Node)(nil)
-	_ amac.Message   = Combined{}
+	_ amac.Message   = (*Combined)(nil)
 )

@@ -129,35 +129,65 @@ func (g *Graph) Dist(u, v int) int {
 	return g.BFS(u)[v]
 }
 
-// Eccentricity returns the maximum distance from u to any node, or -1 when
-// the graph is disconnected.
-func (g *Graph) Eccentricity(u int) int {
+// eccFrom runs one BFS from src into the caller's scratch (dist and queue,
+// both length N()) and returns src's eccentricity, or -1 when some node is
+// unreachable. Callers reuse the scratch across sources, so a BFS costs no
+// allocation.
+func (g *Graph) eccFrom(src int, dist, queue []int) int {
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue[0] = src
+	head, tail := 0, 1
 	ecc := 0
-	for _, d := range g.BFS(u) {
-		if d < 0 {
-			return -1
+	for head < tail {
+		u := queue[head]
+		head++
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				if dist[v] > ecc {
+					ecc = dist[v]
+				}
+				queue[tail] = v
+				tail++
+			}
 		}
-		if d > ecc {
-			ecc = d
-		}
+	}
+	if tail < len(g.adj) {
+		return -1 // disconnected
 	}
 	return ecc
 }
 
+// Eccentricity returns the maximum distance from u to any node, or -1 when
+// the graph is disconnected.
+func (g *Graph) Eccentricity(u int) int {
+	g.check(u)
+	n := len(g.adj)
+	return g.eccFrom(u, make([]int, n), make([]int, n))
+}
+
 // Diameter returns the graph diameter via all-pairs BFS, or -1 when the
-// graph is disconnected. A single-node graph has diameter 0.
+// graph is disconnected. A single-node graph has diameter 0. The BFS
+// scratch is allocated once and shared by all n sources, so the whole
+// computation costs two allocations regardless of n.
 func (g *Graph) Diameter() int {
-	if len(g.adj) == 0 {
+	n := len(g.adj)
+	if n == 0 {
 		return -1
 	}
+	dist := make([]int, n)
+	queue := make([]int, n)
 	diam := 0
-	for u := range g.adj {
-		e := g.Eccentricity(u)
-		if e < 0 {
+	for src := range g.adj {
+		ecc := g.eccFrom(src, dist, queue)
+		if ecc < 0 {
 			return -1
 		}
-		if e > diam {
-			diam = e
+		if ecc > diam {
+			diam = ecc
 		}
 	}
 	return diam

@@ -179,6 +179,30 @@ var overlayFamilies = map[string]func(arg string, base *graph.Graph, seed int64)
 	},
 }
 
+// deterministicOverlayFamilies marks the families whose built graph is
+// fully determined by the base graph (no seed dependence; the empty name
+// is the "none" default). Only these share a sweep-cache entry across the
+// seed axis — an allowlist on purpose, so a family not named here
+// (including any future one) conservatively keys on the full seed and a
+// missing classification costs cache hits, never correctness.
+var deterministicOverlayFamilies = map[string]bool{
+	"":       true,
+	"none":   true,
+	"chords": true,
+}
+
+func overlaySeedDependent(family string) bool { return !deterministicOverlayFamilies[family] }
+
+// overlayFamily returns the family name of a spec — the token before the
+// first ':' (parameter) or '@' (delivery probability). It is the single
+// parser of that part of the grammar: NewOverlay and the sweep cache keys
+// both go through it, so they cannot drift apart.
+func overlayFamily(spec string) string {
+	body, _, _ := strings.Cut(spec, "@")
+	family, _, _ := strings.Cut(body, ":")
+	return family
+}
+
 // Overlays returns the registered overlay family names, sorted.
 func Overlays() []string { return sortedKeys(overlayFamilies) }
 
@@ -199,7 +223,8 @@ func NewOverlay(spec string, base *graph.Graph, seed int64) (*graph.Graph, float
 		}
 		deliverP = v
 	}
-	name, arg, _ := strings.Cut(body, ":")
+	name := overlayFamily(spec)
+	_, arg, _ := strings.Cut(body, ":")
 	mk, ok := overlayFamilies[name]
 	if !ok {
 		return nil, 0, fmt.Errorf("harness: unknown overlay family %q (have %v; grammar family[:param][@Q])", spec, Overlays())

@@ -2,6 +2,23 @@ package harness
 
 import "testing"
 
+// sweepGridBench is the whole-grid benchmark workload: one multihop
+// algorithm crossed with two topologies, two crash patterns and three
+// overlay families — 12 cells, 96 scenarios — so the benchmark costs the
+// cross-cell sharing (topology, diameter and overlay caches) that a
+// single-cell benchmark cannot see.
+func sweepGridBench() Grid {
+	return Grid{
+		Algos:    []string{"floodpaxos"},
+		Topos:    []Topo{{Kind: "ring", N: 9}, {Kind: "grid", Rows: 3, Cols: 3}},
+		Scheds:   []string{"random"},
+		Facks:    []int64{4},
+		Crashes:  []string{"one@0", "midbroadcast"},
+		Overlays: []string{"none", "extra:4", "chords"},
+		Seeds:    []int64{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+}
+
 // BenchmarkSweepCell measures one aggregated sweep cell end to end —
 // scenario assembly, the parallel worker pool, consensus checking and
 // aggregation — on a fault-injected grid, which is the workload the
@@ -31,6 +48,33 @@ func BenchmarkSweepCell(b *testing.B) {
 		}
 		if len(cells) != 1 || !cells[0].OK() {
 			b.Fatalf("sweep cell broken: %+v", cells)
+		}
+	}
+}
+
+// BenchmarkSweepGrid measures a whole multi-cell grid end to end, the
+// workload the cell-grouped sweep pipeline exists for: cells share cached
+// topologies, diameters and overlays across the cross product, and each
+// worker reuses one engine across the seeds of a cell.
+func BenchmarkSweepGrid(b *testing.B) {
+	scs, err := sweepGridBench().Scenarios()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells, err := Sweep(scs, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != 12 {
+			b.Fatalf("%d cells, want 12", len(cells))
+		}
+		for _, c := range cells {
+			if !c.OK() {
+				b.Fatalf("grid cell broken: %+v", c)
+			}
 		}
 	}
 }

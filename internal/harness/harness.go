@@ -14,11 +14,22 @@
 // dual graph of the Kuhn–Lynch–Newport model variant, with a lossy
 // scheduler wrapper delivering over its edges probabilistically.
 //
-// On top of single scenarios, sweep.go expands a Grid (the cross product of
-// named axes, now including the two fault axes) into scenarios and runs
-// them on a GOMAXPROCS-wide worker pool, aggregating per-cell
-// decision-latency, survivor-latency, fault and message-count
-// distributions. See cmd/amacsim's package comment for the sweep grammar.
+// On top of single scenarios, sweep.go expands a Grid (the cross product
+// of named axes, now including the two fault axes) into cell work-units —
+// one per (algo, topo, inputs, sched, fack, crashes, overlay) combination,
+// seeds inside — and schedules whole cells onto a GOMAXPROCS-wide worker
+// pool, aggregating per-cell decision-latency, survivor-latency, fault and
+// message-count distributions in streaming accumulators. Execution is
+// cell-grouped for performance: a worker runs all seeds of a cell back to
+// back on one reusable sim.Engine (NewEngine/Reset), and all workers share
+// the sweep's memoized caches (cache.go) of built topologies, their
+// diameters and overlay dual graphs keyed by (topo, seed) — normalized to
+// a shared key when the family ignores its seed — plus named input
+// assignments keyed by (pattern, n). Everything that depends only on
+// (topo, seed) is computed once per sweep instead of once per scenario;
+// per-seed state (schedulers, algorithm instances, crash schedules) is
+// always built fresh. Scenario.Run stays the uncached single-execution
+// API. See cmd/amacsim's package comment for the sweep grammar.
 package harness
 
 import (
@@ -212,37 +223,72 @@ func NewInputs(pattern string, n int) ([]amac.Value, error) {
 
 // Config assembles the scenario into a validated simulator configuration.
 func (s Scenario) Config() (sim.Config, error) {
-	g, err := s.Topo.Build(s.Seed)
+	cfg, _, err := s.build(nil)
+	return cfg, err
+}
+
+// build assembles the scenario and returns the configuration plus the
+// topology diameter. With a non-nil cache the graph, its diameter, the
+// overlay dual graph and the input assignment are memoized and shared
+// (this is the sweep path); with nil everything is built fresh and the
+// diameter is NOT computed (returned as 0) — uncached callers that need
+// it compute it from the graph, so Config() never pays an all-pairs BFS
+// it would discard. The per-seed pieces — scheduler, algorithm factory,
+// crash schedule, lossy wrapper — are always built fresh, since they
+// carry run state.
+func (s Scenario) build(c *caches) (sim.Config, int, error) {
+	var (
+		g    *graph.Graph
+		diam int
+		err  error
+	)
+	if c != nil {
+		g, diam, err = c.topo(s.Topo, s.Seed)
+	} else {
+		g, err = s.Topo.Build(s.Seed)
+	}
 	if err != nil {
-		return sim.Config{}, err
+		return sim.Config{}, 0, err
 	}
 	ins := s.InputValues
 	if ins == nil {
-		ins, err = NewInputs(s.Inputs, g.N())
+		if c != nil {
+			ins, err = c.inputValues(s.Inputs, g.N())
+		} else {
+			ins, err = NewInputs(s.Inputs, g.N())
+		}
 		if err != nil {
-			return sim.Config{}, err
+			return sim.Config{}, 0, err
 		}
 	} else if len(ins) != g.N() {
-		return sim.Config{}, fmt.Errorf("harness: %d input values for %d nodes", len(ins), g.N())
+		return sim.Config{}, 0, fmt.Errorf("harness: %d input values for %d nodes", len(ins), g.N())
 	}
 	if err := amac.ValidateBinaryInputs(ins); err != nil {
-		return sim.Config{}, err
+		return sim.Config{}, 0, err
 	}
 	factory, err := NewFactory(s.Algo, g.N(), s.Seed)
 	if err != nil {
-		return sim.Config{}, err
+		return sim.Config{}, 0, err
 	}
 	scheduler, err := NewScheduler(s.Sched, s.Fack, s.Seed, g)
 	if err != nil {
-		return sim.Config{}, err
+		return sim.Config{}, 0, err
 	}
 	crashes, err := NewCrashes(s.Crashes, g.N(), s.Fack, s.Seed)
 	if err != nil {
-		return sim.Config{}, err
+		return sim.Config{}, 0, err
 	}
-	unreliable, deliverP, err := NewOverlay(s.Overlay, g, s.Seed)
+	var (
+		unreliable *graph.Graph
+		deliverP   float64
+	)
+	if c != nil {
+		unreliable, deliverP, err = c.overlay(s.Overlay, s.Topo, g, s.Seed)
+	} else {
+		unreliable, deliverP, err = NewOverlay(s.Overlay, g, s.Seed)
+	}
 	if err != nil {
-		return sim.Config{}, err
+		return sim.Config{}, 0, err
 	}
 	if unreliable != nil {
 		// The lossy wrapper is what makes overlay edges deliver at all:
@@ -261,12 +307,15 @@ func (s Scenario) Config() (sim.Config, error) {
 		MaxEvents:       s.MaxEvents,
 		StopWhenDecided: true,
 		Audit:           true,
-	}, nil
+	}, diam, nil
 }
 
-// Run executes the scenario and checks the consensus properties.
+// Run executes the scenario and checks the consensus properties. It builds
+// everything fresh and allocates its own engine — the right call for a
+// single execution. Sweeps instead run cells of seeds through per-worker
+// reusable engines and shared caches (see Sweep).
 func (s Scenario) Run() (*Outcome, error) {
-	cfg, err := s.Config()
+	cfg, _, err := s.build(nil)
 	if err != nil {
 		return nil, err
 	}
@@ -277,6 +326,40 @@ func (s Scenario) Run() (*Outcome, error) {
 		Report:   consensus.Check(cfg.Inputs, res),
 		N:        cfg.Graph.N(),
 		Diameter: cfg.Graph.Diameter(),
+		Fack:     cfg.Scheduler.Fack(),
+	}, nil
+}
+
+// runner executes scenarios for one sweep worker: configurations are
+// assembled through the sweep's shared caches and executed on a single
+// reusable engine, so across the seeds of a cell the only per-run
+// allocations are the scenario's own state (algorithm instances, seeded
+// schedulers, the consensus report).
+type runner struct {
+	caches *caches
+	eng    *sim.Engine
+}
+
+// run executes one scenario. The returned Outcome's Result is owned by the
+// runner's engine and is valid only until the next run call — callers must
+// extract what they need (the accumulator does) before running again.
+func (r *runner) run(s Scenario) (*Outcome, error) {
+	cfg, diam, err := s.build(r.caches)
+	if err != nil {
+		return nil, err
+	}
+	if r.eng == nil {
+		r.eng = sim.NewEngine(cfg)
+	} else {
+		r.eng.Reset(cfg)
+	}
+	res := r.eng.Run()
+	return &Outcome{
+		Scenario: s,
+		Result:   res,
+		Report:   consensus.Check(cfg.Inputs, res),
+		N:        cfg.Graph.N(),
+		Diameter: diam,
 		Fack:     cfg.Scheduler.Fack(),
 	}, nil
 }

@@ -1,0 +1,65 @@
+package harness
+
+import "testing"
+
+// TestWPaxosCrashOverlayStallKnownIssue is the executable anchor for the
+// ROADMAP open item: wPAXOS liveness can stall when a crash pattern meets
+// an unreliable overlay — here the Theorem 3.2 mid-broadcast crash of
+// node 0 on ring:9 with the antipodal-chords overlay, seed 4 — while
+// floodpaxos decides in the very same cell. The execution quiesces with
+// every survivor undecided (a liveness stall, not a livelock), so the
+// reproducer is cheap.
+//
+// KNOWN ISSUE: this test asserts the *stall*. It documents today's
+// behavior so the root-cause investigation (quorum accounting vs.
+// unreliable deliveries?) has a pinned, deterministic starting point. When
+// the bug is fixed this test will fail — then flip the assertions to
+// demand termination and move the cell into the canonical grids.
+func TestWPaxosCrashOverlayStallKnownIssue(t *testing.T) {
+	cell := Scenario{
+		Topo:    Topo{Kind: "ring", N: 9},
+		Sched:   "random",
+		Fack:    4,
+		Seed:    4,
+		Crashes: "midbroadcast",
+		Overlay: "chords",
+		// Cap events defensively: the stall quiesces, but if a fix ever
+		// turns it into a livelock this test should fail fast, not hang.
+		MaxEvents: 200_000,
+	}
+
+	wp := cell
+	wp.Algo = "wpaxos"
+	out, err := wp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Result.Quiescent {
+		t.Fatalf("stall reproducer did not quiesce (events=%d cutoff=%v): the known issue changed shape",
+			out.Result.Events, out.Result.Cutoff)
+	}
+	if out.Report.Termination {
+		t.Fatal("wpaxos decided on ring:9 midbroadcast+chords seed 4: the known liveness stall " +
+			"is gone — update ROADMAP.md and flip this test to assert termination")
+	}
+	if out.Report.SomeoneDecided {
+		t.Fatalf("expected a full stall (no survivor decides), got a partial decision: %+v", out.Report)
+	}
+	// Safety must hold even while liveness fails: the stall is silence,
+	// not disagreement.
+	if !out.Report.Agreement || !out.Report.Validity {
+		t.Fatalf("stall broke safety, not just liveness: %+v", out.Report.Errors)
+	}
+
+	// floodpaxos is robust in the same cell — the contrast that makes
+	// this a wPAXOS bug rather than a model artifact.
+	fp := cell
+	fp.Algo = "floodpaxos"
+	out, err = fp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Report.OK() {
+		t.Fatalf("floodpaxos no longer robust in the stall cell: %v", out.Report.Errors)
+	}
+}

@@ -35,10 +35,22 @@ type Grid struct {
 // fails fast (as a termination violation) instead of stalling the grid.
 const DefaultSweepMaxEvents = 5_000_000
 
-// Scenarios expands the grid. Empty Inputs defaults to {"alternating"}
-// and the empty fault axes to {"none"}; every other axis must be
-// non-empty.
-func (g Grid) Scenarios() ([]Scenario, error) {
+// CellWork is one sweep work-unit: the scenario family of one cell — every
+// axis fixed except the seed — and the seeds that replicate it. Sweeps
+// schedule whole cells onto workers, so one worker runs all of a cell's
+// seeds back to back on one reusable engine and aggregates them in place.
+type CellWork struct {
+	// Base is the cell's scenario family; its Seed field is ignored.
+	Base Scenario
+	// Seeds is the replication axis.
+	Seeds []int64
+}
+
+// Cells expands the grid into cell work-units, one per
+// (algo, topo, inputs, sched, fack, crashes, overlay) combination, in
+// axis-nesting order. Empty Inputs defaults to {"alternating"} and the
+// empty fault axes to {"none"}; every other axis must be non-empty.
+func (g Grid) Cells() ([]CellWork, error) {
 	inputs := g.Inputs
 	if len(inputs) == 0 {
 		inputs = []string{"alternating"}
@@ -51,19 +63,27 @@ func (g Grid) Scenarios() ([]Scenario, error) {
 	if len(overlays) == 0 {
 		overlays = []string{"none"}
 	}
-	for name, axis := range map[string]int{
-		"algos": len(g.Algos), "topos": len(g.Topos),
-		"scheds": len(g.Scheds), "facks": len(g.Facks), "seeds": len(g.Seeds),
+	// Validate in a fixed order so the reported axis is deterministic
+	// when several are empty.
+	for _, axis := range []struct {
+		name string
+		n    int
+	}{
+		{"algos", len(g.Algos)},
+		{"topos", len(g.Topos)},
+		{"scheds", len(g.Scheds)},
+		{"facks", len(g.Facks)},
+		{"seeds", len(g.Seeds)},
 	} {
-		if axis == 0 {
-			return nil, fmt.Errorf("harness: sweep grid has an empty %s axis", name)
+		if axis.n == 0 {
+			return nil, fmt.Errorf("harness: sweep grid has an empty %s axis", axis.name)
 		}
 	}
 	maxEvents := g.MaxEvents
 	if maxEvents == 0 {
 		maxEvents = DefaultSweepMaxEvents
 	}
-	var scs []Scenario
+	cells := make([]CellWork, 0, len(g.Algos)*len(g.Topos)*len(inputs)*len(g.Scheds)*len(g.Facks)*len(crashes)*len(overlays))
 	for _, algo := range g.Algos {
 		for _, topo := range g.Topos {
 			for _, in := range inputs {
@@ -71,19 +91,39 @@ func (g Grid) Scenarios() ([]Scenario, error) {
 					for _, fack := range g.Facks {
 						for _, crash := range crashes {
 							for _, overlay := range overlays {
-								for _, seed := range g.Seeds {
-									scs = append(scs, Scenario{
+								cells = append(cells, CellWork{
+									Base: Scenario{
 										Algo: algo, Topo: topo, Inputs: in,
-										Sched: sched, Fack: fack, Seed: seed,
+										Sched: sched, Fack: fack,
 										Crashes: crash, Overlay: overlay,
 										MaxEvents: maxEvents,
-									})
-								}
+									},
+									Seeds: g.Seeds,
+								})
 							}
 						}
 					}
 				}
 			}
+		}
+	}
+	return cells, nil
+}
+
+// Scenarios expands the grid into flat scenarios — the cell work-units of
+// Cells flattened with seeds innermost. Sweep re-groups flat scenarios
+// into cells, so Cells plus SweepCells is the direct route.
+func (g Grid) Scenarios() ([]Scenario, error) {
+	cells, err := g.Cells()
+	if err != nil {
+		return nil, err
+	}
+	scs := make([]Scenario, 0, len(cells)*len(g.Seeds))
+	for _, cw := range cells {
+		for _, seed := range cw.Seeds {
+			s := cw.Base
+			s.Seed = seed
+			scs = append(scs, s)
 		}
 	}
 	return scs, nil
@@ -166,124 +206,245 @@ type Cell struct {
 	Errors []string `json:"errors,omitempty"`
 }
 
-func (c *Cell) key() string {
-	return fmt.Sprintf("%s|%s|%s|%s|%d|%s|%s", c.Algo, c.Topo, c.Inputs, c.Sched, c.Fack, c.Crashes, c.Overlay)
+// cellIdent is a scenario's cell identity: every axis except the seed,
+// with the optional axes normalized to their defaults exactly as the cell
+// reports them. It is a comparable value used directly as a map key, so
+// grouping scenarios into cells renders no strings.
+type cellIdent struct {
+	algo             string
+	topo             Topo
+	inputs, sched    string
+	fack             int64
+	crashes, overlay string
+}
+
+func (s Scenario) cellKey() cellIdent {
+	return cellIdent{algo: s.Algo, topo: s.Topo, inputs: defaulted(s.Inputs, "alternating"),
+		sched: s.Sched, fack: s.Fack, crashes: defaulted(s.Crashes, "none"), overlay: defaulted(s.Overlay, "none")}
+}
+
+func defaulted(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
 }
 
 // OK reports whether every run in the cell was correct.
 func (c *Cell) OK() bool { return c.Correct == c.Runs }
 
-// Sweep runs every scenario on a worker pool of the given width (<= 0
-// means GOMAXPROCS) and aggregates outcomes into cells, one per distinct
-// (algo, topo, inputs, sched, fack) combination, in first-appearance
-// order. Scenario construction errors abort the sweep; consensus
-// violations do not — they are reported per cell.
-func Sweep(scs []Scenario, workers int) ([]Cell, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	outcomes := make([]*Outcome, len(scs))
-	errs := make([]error, len(scs))
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				outcomes[i], errs[i] = scs[i].Run()
-			}
-		}()
-	}
-	for i := range scs {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("scenario %d (%s on %s under %s): %w", i, scs[i].Algo, scs[i].Topo, scs[i].Sched, err)
-		}
-	}
-	return aggregate(outcomes), nil
-}
-
-type accum struct {
-	cell                           *Cell
+// cellAccum streams one cell's outcomes into preallocated sample slices;
+// finish turns them into the aggregated Cell. Outcomes must be added in
+// seed order — summaries are order-insensitive, but reproducible cells
+// demand a deterministic sample order.
+type cellAccum struct {
+	cell                           Cell
+	started                        bool
 	decide, broadcasts, deliveries []float64
 	survivorDecide, faults         []float64
 	diameters, facks               []float64
 	errSeen                        map[string]bool
 }
 
-func aggregate(outcomes []*Outcome) []Cell {
-	var order []string
-	acc := map[string]*accum{}
-	for _, o := range outcomes {
-		s := o.Scenario
-		in := s.Inputs
-		if in == "" {
-			in = "alternating"
+func newCellAccum(runs int) *cellAccum {
+	// One backing array for all seven sample slices: a cell's samples
+	// live and die together.
+	buf := make([]float64, 7*runs)
+	return &cellAccum{
+		decide:         buf[0*runs : 0*runs : 1*runs],
+		broadcasts:     buf[1*runs : 1*runs : 2*runs],
+		deliveries:     buf[2*runs : 2*runs : 3*runs],
+		survivorDecide: buf[3*runs : 3*runs : 4*runs],
+		faults:         buf[4*runs : 4*runs : 5*runs],
+		diameters:      buf[5*runs : 5*runs : 6*runs],
+		facks:          buf[6*runs : 6*runs : 7*runs],
+	}
+}
+
+func (a *cellAccum) add(o *Outcome) {
+	s := o.Scenario
+	if !a.started {
+		a.started = true
+		a.cell = Cell{Algo: s.Algo, Topo: s.Topo.String(), Inputs: defaulted(s.Inputs, "alternating"),
+			Sched: s.Sched, Crashes: defaulted(s.Crashes, "none"), Overlay: defaulted(s.Overlay, "none"),
+			Fack: s.Fack, N: o.N}
+	}
+	a.cell.Runs++
+	if o.OK() {
+		a.cell.Correct++
+	}
+	for _, e := range o.Report.Errors {
+		if a.errSeen == nil {
+			a.errSeen = map[string]bool{}
 		}
-		crashes := s.Crashes
-		if crashes == "" {
-			crashes = "none"
+		if !a.errSeen[e] {
+			a.errSeen[e] = true
+			a.cell.Errors = append(a.cell.Errors, e)
 		}
-		overlay := s.Overlay
-		if overlay == "" {
-			overlay = "none"
-		}
-		c := Cell{Algo: s.Algo, Topo: s.Topo.String(), Inputs: in, Sched: s.Sched,
-			Crashes: crashes, Overlay: overlay, Fack: s.Fack, N: o.N}
-		a, ok := acc[c.key()]
+	}
+	a.diameters = append(a.diameters, float64(o.Diameter))
+	a.facks = append(a.facks, float64(o.Fack))
+	if o.Result.MaxDecideTime >= 0 {
+		a.decide = append(a.decide, float64(o.Result.MaxDecideTime))
+	} else {
+		a.cell.Undecided++
+	}
+	if o.Report.SurvivorDecideTime >= 0 {
+		a.survivorDecide = append(a.survivorDecide, float64(o.Report.SurvivorDecideTime))
+	}
+	a.faults = append(a.faults, float64(o.Report.Crashed))
+	if o.Report.Crashed > 0 && o.Report.Termination {
+		a.cell.FaultTerminations++
+	}
+	a.broadcasts = append(a.broadcasts, float64(o.Result.Broadcasts))
+	a.deliveries = append(a.deliveries, float64(o.Result.Deliveries))
+}
+
+func (a *cellAccum) finish() Cell {
+	a.cell.Diameter = int(stats.Median(a.diameters))
+	a.cell.EffectiveFack = int64(stats.Median(a.facks))
+	a.cell.Decide = summarize(a.decide)
+	if len(a.decide) > 0 && a.cell.EffectiveFack > 0 {
+		a.cell.DecidePerFack = a.cell.Decide.Median / float64(a.cell.EffectiveFack)
+	}
+	a.cell.SurvivorDecide = summarize(a.survivorDecide)
+	a.cell.Faults = summarize(a.faults)
+	a.cell.Broadcasts = summarize(a.broadcasts)
+	a.cell.Deliveries = summarize(a.deliveries)
+	return a.cell
+}
+
+// cellGroup is the sweep-internal unit of work: one cell's scenarios (in
+// seed order) plus their positions in the caller's flat scenario list, for
+// error attribution.
+type cellGroup struct {
+	scs  []Scenario
+	idxs []int
+}
+
+// groupScenarios buckets flat scenarios into cells by cell identity, in
+// first-appearance order, preserving the scenario order within each cell.
+func groupScenarios(scs []Scenario) []*cellGroup {
+	byKey := make(map[cellIdent]*cellGroup)
+	var groups []*cellGroup
+	for i, s := range scs {
+		k := s.cellKey()
+		g, ok := byKey[k]
 		if !ok {
-			a = &accum{cell: &c, errSeen: map[string]bool{}}
-			acc[c.key()] = a
-			order = append(order, c.key())
+			g = &cellGroup{}
+			byKey[k] = g
+			groups = append(groups, g)
 		}
-		a.cell.Runs++
-		if o.OK() {
-			a.cell.Correct++
+		g.scs = append(g.scs, s)
+		g.idxs = append(g.idxs, i)
+	}
+	return groups
+}
+
+// Sweep runs every scenario on a worker pool of the given width (<= 0
+// means GOMAXPROCS) and aggregates outcomes into cells, one per distinct
+// (algo, topo, inputs, sched, fack, crashes, overlay) combination, in
+// first-appearance order. Scenarios are grouped into cells first and
+// whole cells are scheduled onto workers: each worker reuses one engine
+// across the seeds of a cell, and all workers share memoized topology,
+// diameter, overlay and input caches. Scenario construction errors abort
+// the sweep; consensus violations do not — they are reported per cell.
+func Sweep(scs []Scenario, workers int) ([]Cell, error) {
+	return sweepGroups(groupScenarios(scs), workers)
+}
+
+// SweepCells runs cell work-units (see Grid.Cells) directly, one unit per
+// worker-pool task. It is Sweep without the flat-scenario detour: cells
+// come in already grouped, so nothing is re-keyed — which is why two
+// work-units sharing a cell identity are rejected rather than silently
+// emitted as duplicate rows (flatten to Sweep when merging is wanted).
+func SweepCells(cells []CellWork, workers int) ([]Cell, error) {
+	seen := make(map[cellIdent]bool, len(cells))
+	for _, cw := range cells {
+		if len(cw.Seeds) == 0 {
+			return nil, fmt.Errorf("harness: cell %s on %s under %s has no seeds", cw.Base.Algo, cw.Base.Topo, cw.Base.Sched)
 		}
-		for _, e := range o.Report.Errors {
-			if !a.errSeen[e] {
-				a.errSeen[e] = true
-				a.cell.Errors = append(a.cell.Errors, e)
+		k := cw.Base.cellKey()
+		if seen[k] {
+			return nil, fmt.Errorf("harness: duplicate cell %s on %s under %s (crashes %s, overlay %s, Fack %d): merge the work-units or sweep flat scenarios",
+				k.algo, k.topo, k.sched, k.crashes, k.overlay, k.fack)
+		}
+		seen[k] = true
+	}
+	groups := make([]*cellGroup, len(cells))
+	idx := 0
+	for i, cw := range cells {
+		g := &cellGroup{scs: make([]Scenario, len(cw.Seeds)), idxs: make([]int, len(cw.Seeds))}
+		for j, seed := range cw.Seeds {
+			s := cw.Base
+			s.Seed = seed
+			g.scs[j] = s
+			g.idxs[j] = idx
+			idx++
+		}
+		groups[i] = g
+	}
+	return sweepGroups(groups, workers)
+}
+
+func sweepGroups(groups []*cellGroup, workers int) ([]Cell, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type cellErr struct {
+		idx int // scenario index, for deterministic error attribution
+		sc  Scenario
+		err error
+	}
+	cells := make([]Cell, len(groups))
+	errs := make([]cellErr, len(groups))
+	shared := newCaches()
+	// Buffered so the producer never blocks and workers never serialize
+	// on an unbuffered handoff.
+	work := make(chan int, len(groups))
+	for i := range groups {
+		work <- i
+	}
+	close(work)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := &runner{caches: shared}
+			for gi := range work {
+				g := groups[gi]
+				acc := newCellAccum(len(g.scs))
+				ok := true
+				for k, s := range g.scs {
+					o, err := r.run(s)
+					if err != nil {
+						errs[gi] = cellErr{idx: g.idxs[k], sc: s, err: err}
+						ok = false
+						break
+					}
+					acc.add(o)
+				}
+				if ok {
+					cells[gi] = acc.finish()
+				}
 			}
-		}
-		a.diameters = append(a.diameters, float64(o.Diameter))
-		a.facks = append(a.facks, float64(o.Fack))
-		if o.Result.MaxDecideTime >= 0 {
-			a.decide = append(a.decide, float64(o.Result.MaxDecideTime))
-		} else {
-			a.cell.Undecided++
-		}
-		if o.Report.SurvivorDecideTime >= 0 {
-			a.survivorDecide = append(a.survivorDecide, float64(o.Report.SurvivorDecideTime))
-		}
-		a.faults = append(a.faults, float64(o.Report.Crashed))
-		if o.Report.Crashed > 0 && o.Report.Termination {
-			a.cell.FaultTerminations++
-		}
-		a.broadcasts = append(a.broadcasts, float64(o.Result.Broadcasts))
-		a.deliveries = append(a.deliveries, float64(o.Result.Deliveries))
+		}()
 	}
-	cells := make([]Cell, 0, len(order))
-	for _, k := range order {
-		a := acc[k]
-		a.cell.Diameter = int(stats.Median(a.diameters))
-		a.cell.EffectiveFack = int64(stats.Median(a.facks))
-		a.cell.Decide = summarize(a.decide)
-		if len(a.decide) > 0 && a.cell.EffectiveFack > 0 {
-			a.cell.DecidePerFack = a.cell.Decide.Median / float64(a.cell.EffectiveFack)
+	wg.Wait()
+	// Report the error of the lowest-index scenario, so failures are
+	// attributed deterministically regardless of worker scheduling.
+	first := -1
+	for gi := range errs {
+		if errs[gi].err != nil && (first < 0 || errs[gi].idx < errs[first].idx) {
+			first = gi
 		}
-		a.cell.SurvivorDecide = summarize(a.survivorDecide)
-		a.cell.Faults = summarize(a.faults)
-		a.cell.Broadcasts = summarize(a.broadcasts)
-		a.cell.Deliveries = summarize(a.deliveries)
-		cells = append(cells, *a.cell)
 	}
-	return cells
+	if first >= 0 {
+		e := errs[first]
+		return nil, fmt.Errorf("scenario %d (%s on %s under %s): %w", e.idx, e.sc.Algo, e.sc.Topo, e.sc.Sched, e.err)
+	}
+	return cells, nil
 }
 
 // Report writes the cells to w — an indented JSON array when jsonOut,

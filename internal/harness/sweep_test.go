@@ -37,6 +37,81 @@ func TestGridExpansion(t *testing.T) {
 	}
 }
 
+// TestGridEmptyAxisDeterministicError pins the validation order: with
+// several axes empty the reported axis is always the first in the fixed
+// algos/topos/scheds/facks/seeds order (the old map iteration made it
+// random).
+func TestGridEmptyAxisDeterministicError(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		_, err := Grid{Seeds: []int64{1}}.Scenarios()
+		if err == nil {
+			t.Fatal("grid with empty axes accepted")
+		}
+		if want := "empty algos axis"; !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not name the first empty axis (%q)", err, want)
+		}
+	}
+}
+
+// TestGridCellsMatchScenarios pins that the cell work-units are exactly
+// the flat expansion regrouped: flattening Cells with seeds innermost
+// reproduces Scenarios.
+func TestGridCellsMatchScenarios(t *testing.T) {
+	g := testGrid()
+	g.Crashes = []string{"none", "one@0"}
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs, err := g.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat []Scenario
+	for _, cw := range cells {
+		if len(cw.Seeds) != len(g.Seeds) {
+			t.Fatalf("cell %+v has %d seeds, want %d", cw.Base, len(cw.Seeds), len(g.Seeds))
+		}
+		for _, seed := range cw.Seeds {
+			s := cw.Base
+			s.Seed = seed
+			flat = append(flat, s)
+		}
+	}
+	if !reflect.DeepEqual(flat, scs) {
+		t.Fatal("flattened cells differ from the scenario expansion")
+	}
+	// And the two sweep entry points agree on the result.
+	fromCells, err := SweepCells(cells, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFlat, err := Sweep(scs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromCells, fromFlat) {
+		t.Fatal("SweepCells and Sweep disagree on the same grid")
+	}
+}
+
+// TestSweepCellsRejectsMalformedWork pins SweepCells' validation: cells
+// without seeds and duplicate cell identities fail loudly instead of
+// producing empty-but-OK or duplicate rows.
+func TestSweepCellsRejectsMalformedWork(t *testing.T) {
+	base := Scenario{Algo: "twophase", Topo: Topo{Kind: "clique", N: 4}, Sched: "sync", Fack: 2}
+	if _, err := SweepCells([]CellWork{{Base: base}}, 1); err == nil || !strings.Contains(err.Error(), "no seeds") {
+		t.Fatalf("seedless cell accepted (err=%v)", err)
+	}
+	dup := []CellWork{
+		{Base: base, Seeds: []int64{1}},
+		{Base: base, Seeds: []int64{2}},
+	}
+	if _, err := SweepCells(dup, 1); err == nil || !strings.Contains(err.Error(), "duplicate cell") {
+		t.Fatalf("duplicate cell identity accepted (err=%v)", err)
+	}
+}
+
 func TestGridEmptyAxis(t *testing.T) {
 	g := testGrid()
 	g.Facks = nil
@@ -146,10 +221,11 @@ func TestWriteJSON(t *testing.T) {
 	}
 }
 
-// TestAggregateUndecided feeds aggregate a hand-built mix of decided and
-// undecided outcomes: the -1 "nobody decided" sentinel must not leak into
-// the latency summary, and the cell must count the undecided runs.
-func TestAggregateUndecided(t *testing.T) {
+// TestCellAccumUndecided feeds the streaming accumulator a hand-built mix
+// of decided and undecided outcomes: the -1 "nobody decided" sentinel must
+// not leak into the latency summary, and the cell must count the undecided
+// runs.
+func TestCellAccumUndecided(t *testing.T) {
 	sc := Scenario{Algo: "twophase", Topo: Topo{Kind: "clique", N: 2}, Sched: "sync", Fack: 2}
 	mk := func(decideTime int64, terminated bool) *Outcome {
 		rep := &consensus.Report{Agreement: true, Validity: true, Termination: terminated}
@@ -163,11 +239,11 @@ func TestAggregateUndecided(t *testing.T) {
 			N:        2, Diameter: 1, Fack: 2,
 		}
 	}
-	cells := aggregate([]*Outcome{mk(10, true), mk(-1, false), mk(20, true)})
-	if len(cells) != 1 {
-		t.Fatalf("%d cells, want 1", len(cells))
+	acc := newCellAccum(3)
+	for _, o := range []*Outcome{mk(10, true), mk(-1, false), mk(20, true)} {
+		acc.add(o)
 	}
-	c := cells[0]
+	c := acc.finish()
 	if c.Runs != 3 || c.Correct != 2 || c.Undecided != 1 {
 		t.Fatalf("runs/correct/undecided = %d/%d/%d, want 3/2/1", c.Runs, c.Correct, c.Undecided)
 	}
@@ -182,7 +258,9 @@ func TestAggregateUndecided(t *testing.T) {
 	}
 
 	// All-undecided cells report zero latency rather than -1.
-	c = aggregate([]*Outcome{mk(-1, false)})[0]
+	acc = newCellAccum(1)
+	acc.add(mk(-1, false))
+	c = acc.finish()
 	if c.Undecided != 1 || c.Decide.Median != 0 || c.DecidePerFack != 0 {
 		t.Fatalf("all-undecided cell: %+v", c)
 	}

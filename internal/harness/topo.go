@@ -134,8 +134,23 @@ func (t *Topo) UnmarshalText(b []byte) error {
 	return nil
 }
 
-// Build constructs the graph. The seed feeds the random family only; every
-// other family ignores it, so the same Topo builds the same graph.
+// buildSeed is the seed as far as Build's output is concerned: it
+// normalizes to 0 for the families known to ignore their seed, which lets
+// the sweep caches share one graph across a whole seed axis. The list is
+// an allowlist on purpose — a family not named here (including any future
+// one) conservatively keys on the full seed, so forgetting to classify a
+// new family costs cache hits, never correctness.
+func (t Topo) buildSeed(seed int64) int64 {
+	switch t.Kind {
+	case "clique", "line", "ring", "star", "grid", "tree", "starlines":
+		return 0
+	}
+	return seed
+}
+
+// Build constructs the graph. The seed feeds the random family only (see
+// buildSeed); every other family ignores it, so the same Topo builds the
+// same graph.
 func (t Topo) Build(seed int64) (*graph.Graph, error) {
 	switch t.Kind {
 	case "clique":

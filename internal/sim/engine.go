@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"github.com/absmac/absmac/internal/amac"
@@ -21,10 +20,20 @@ type nodeState struct {
 	decideAt int64
 }
 
-type engine struct {
+// Engine executes configurations on a reusable arena: Reset re-arms the
+// same engine for a new configuration, keeping the node-state slice, the
+// Result slices, the delivery-plan buffer, the event-queue backing array
+// and the event freelist from the previous run. A sweep worker that runs
+// the seeds of one cell back to back on one Engine pays the engine's
+// allocation cost once per cell instead of once per seed.
+//
+// The Result returned by Run is owned by the engine and valid only until
+// the next Reset; callers that retain results across runs must copy them.
+// The one-shot Run function keeps its allocate-per-call semantics.
+type Engine struct {
 	cfg    Config
 	nodes  []nodeState
-	heap   eventHeap
+	q      eventQueue
 	nexts  int64 // next event seq
 	now    int64
 	res    *Result
@@ -38,7 +47,7 @@ type engine struct {
 
 // api implements amac.API for one node.
 type api struct {
-	e    *engine
+	e    *Engine
 	node int
 }
 
@@ -56,42 +65,82 @@ func (a api) Decide(v amac.Value) {
 
 var _ amac.API = api{}
 
-func newEngine(cfg Config) *engine {
+// NewEngine returns an engine armed with cfg, ready to Run. Like Run, it
+// panics on configuration errors (use Config.Validate to check first).
+func NewEngine(cfg Config) *Engine {
+	e := &Engine{}
+	e.Reset(cfg)
+	return e
+}
+
+// Reset re-arms the engine for a new configuration, reusing every buffer
+// the previous run left behind. No state leaks across runs: node states
+// (crash flags, decisions, in-flight broadcasts), the Result, the clock,
+// the event sequence counter and the queue are all reinitialized; events
+// still queued from a run stopped early (StopWhenDecided, MaxEvents) are
+// drained to the freelist with their message references cleared. It panics
+// on configuration errors, exactly as Run does.
+func (e *Engine) Reset(cfg Config) {
 	if err := cfg.Validate(); err != nil {
 		panic(err.Error())
 	}
+	// A run stopped by StopWhenDecided or MaxEvents leaves events queued;
+	// recycle them so the freelist, not the allocator, feeds the next run.
+	e.q.drain(e.release)
+	e.cfg = cfg
+	e.nexts = 0
+	e.now = 0
 	n := cfg.Graph.N()
-	ids := cfg.IDs
-	if ids == nil {
-		ids = make([]amac.NodeID, n)
-		for i := range ids {
-			ids[i] = amac.NodeID(i + 1)
-		}
-	}
-	maxEvt := cfg.MaxEvents
-	if maxEvt == 0 {
-		maxEvt = DefaultMaxEvents
+	e.maxEvt = cfg.MaxEvents
+	if e.maxEvt == 0 {
+		e.maxEvt = DefaultMaxEvents
 	}
 
-	e := &engine{
-		cfg:    cfg,
-		nodes:  make([]nodeState, n),
-		maxEvt: maxEvt,
-		res: &Result{
-			Decided:       make([]bool, n),
-			Decision:      make([]amac.Value, n),
-			DecideTime:    make([]int64, n),
-			Crashed:       make([]bool, n),
-			MaxDecideTime: -1,
-		},
+	if cap(e.nodes) >= n {
+		// Zero the tail beyond n so a shrink does not pin the prior
+		// run's algorithm state through stale alg references.
+		clear(e.nodes[n:cap(e.nodes)])
+		e.nodes = e.nodes[:n]
+	} else {
+		e.nodes = make([]nodeState, n)
 	}
+	if e.res == nil || cap(e.res.Decided) < n {
+		e.res = &Result{
+			Decided:    make([]bool, n),
+			Decision:   make([]amac.Value, n),
+			DecideTime: make([]int64, n),
+			Crashed:    make([]bool, n),
+		}
+	} else {
+		e.res.Decided = e.res.Decided[:n]
+		e.res.Decision = e.res.Decision[:n]
+		e.res.DecideTime = e.res.DecideTime[:n]
+		e.res.Crashed = e.res.Crashed[:n]
+		for i := 0; i < n; i++ {
+			e.res.Decided[i] = false
+			e.res.Decision[i] = 0
+			e.res.DecideTime[i] = 0
+			e.res.Crashed[i] = false
+		}
+	}
+	*e.res = Result{
+		Decided:       e.res.Decided,
+		Decision:      e.res.Decision,
+		DecideTime:    e.res.DecideTime,
+		Crashed:       e.res.Crashed,
+		MaxDecideTime: -1,
+	}
+
 	for i := range e.nodes {
-		e.nodes[i].id = ids[i]
-		e.nodes[i].crashAt = -1
-		e.nodes[i].alg = cfg.Factory(amac.NodeConfig{ID: ids[i], Input: cfg.Inputs[i]})
-		if e.nodes[i].alg == nil {
+		id := amac.NodeID(i + 1)
+		if cfg.IDs != nil {
+			id = cfg.IDs[i]
+		}
+		alg := cfg.Factory(amac.NodeConfig{ID: id, Input: cfg.Inputs[i]})
+		if alg == nil {
 			panic(fmt.Sprintf("sim: factory returned nil algorithm for node %d", i))
 		}
+		e.nodes[i] = nodeState{id: id, crashAt: -1, alg: alg}
 	}
 	for _, c := range cfg.Crashes {
 		st := &e.nodes[c.Node]
@@ -99,10 +148,9 @@ func newEngine(cfg Config) *engine {
 			st.crashAt = c.At
 		}
 	}
-	return e
 }
 
-func (e *engine) observe(ev Event) {
+func (e *Engine) observe(ev Event) {
 	if e.cfg.Observer != nil {
 		e.cfg.Observer(ev)
 	}
@@ -113,15 +161,15 @@ func (e *engine) observe(ev Event) {
 // (the paper lets the scheduler crash a node "in the middle of a
 // broadcast", i.e. between events, so the boundary convention is free; we
 // pick the one that maximizes what a crash can be observed to permit).
-func (e *engine) crashedBy(i int, t int64) bool {
+func (e *Engine) crashedBy(i int, t int64) bool {
 	at := e.nodes[i].crashAt
 	return at >= 0 && at < t
 }
 
-// alloc takes an event from the freelist, or the heap's allocator when the
+// alloc takes an event from the freelist, or the allocator when the
 // freelist is dry. release returns a processed event (the message reference
 // is cleared so pooled events do not retain algorithm payloads).
-func (e *engine) alloc() *event {
+func (e *Engine) alloc() *event {
 	if n := len(e.free); n > 0 {
 		ev := e.free[n-1]
 		e.free = e.free[:n-1]
@@ -130,20 +178,20 @@ func (e *engine) alloc() *event {
 	return &event{}
 }
 
-func (e *engine) release(ev *event) {
+func (e *Engine) release(ev *event) {
 	ev.msg = nil
 	e.free = append(e.free, ev)
 }
 
-func (e *engine) push(ev event) {
+func (e *Engine) push(ev event) {
 	p := e.alloc()
 	*p = ev
 	p.seq = e.nexts
 	e.nexts++
-	heap.Push(&e.heap, p)
+	e.q.push(p)
 }
 
-func (e *engine) broadcast(u int, m amac.Message) bool {
+func (e *Engine) broadcast(u int, m amac.Message) bool {
 	if m == nil {
 		panic(fmt.Sprintf("sim: node %d broadcast a nil message", u))
 	}
@@ -186,7 +234,7 @@ func (e *engine) broadcast(u int, m amac.Message) bool {
 	e.observe(Event{Kind: EventBroadcast, Time: e.now, Node: u, Message: m})
 
 	// Push deliveries in deterministic (reliable-then-unreliable,
-	// index-ordered) order: heap ties break by insertion sequence.
+	// index-ordered) order: queue ties break by insertion sequence.
 	for i, v := range nbrs {
 		e.push(event{time: e.plan.Recv[i], kind: EventDeliver, node: v, peer: u, bseq: b.Seq, msg: m})
 	}
@@ -199,7 +247,7 @@ func (e *engine) broadcast(u int, m amac.Message) bool {
 	return true
 }
 
-func (e *engine) validatePlan(b Broadcast, p *Plan) {
+func (e *Engine) validatePlan(b Broadcast, p *Plan) {
 	f := e.cfg.Scheduler.Fack()
 	deadline := b.Now + f
 	checkTiming := func(v int, t int64) {
@@ -233,7 +281,7 @@ func (e *engine) validatePlan(b Broadcast, p *Plan) {
 	}
 }
 
-func (e *engine) decide(u int, v amac.Value) {
+func (e *Engine) decide(u int, v amac.Value) {
 	st := &e.nodes[u]
 	if st.decided {
 		if st.decision != v {
@@ -256,7 +304,7 @@ func (e *engine) decide(u int, v amac.Value) {
 	e.observe(Event{Kind: EventDecide, Time: e.now, Node: u, Value: v})
 }
 
-func (e *engine) allDecided() bool {
+func (e *Engine) allDecided() bool {
 	for i := range e.nodes {
 		st := &e.nodes[i]
 		if !st.decided && !(st.crashAt >= 0 && st.crashAt <= e.now) {
@@ -266,7 +314,10 @@ func (e *engine) allDecided() bool {
 	return true
 }
 
-func (e *engine) run() *Result {
+// Run executes the engine's current configuration to completion and returns
+// the result. The result is owned by the engine: it stays valid until the
+// next Reset. Run must not be called twice without a Reset in between.
+func (e *Engine) Run() *Result {
 	// Start every node at time 0 in index order. A node scheduled to
 	// crash at time 0 never starts.
 	for i := range e.nodes {
@@ -277,12 +328,12 @@ func (e *engine) run() *Result {
 		e.nodes[i].alg.Start(api{e: e, node: i})
 	}
 
-	for e.heap.Len() > 0 {
+	for e.q.len() > 0 {
 		if e.res.Events >= e.maxEvt {
 			e.res.Cutoff = true
 			break
 		}
-		ev := heap.Pop(&e.heap).(*event)
+		ev := e.q.pop()
 		if ev.time < e.now {
 			panic(fmt.Sprintf("sim: time went backwards: %d -> %d", e.now, ev.time))
 		}
@@ -326,7 +377,7 @@ func (e *engine) run() *Result {
 			e.observe(Event{Kind: EventAck, Time: e.now, Node: ev.node, Message: msg})
 			st.alg.OnAck(msg)
 		default:
-			panic(fmt.Sprintf("sim: unexpected heap event kind %v", ev.kind))
+			panic(fmt.Sprintf("sim: unexpected queue event kind %v", ev.kind))
 		}
 		e.release(ev)
 
@@ -335,7 +386,7 @@ func (e *engine) run() *Result {
 		}
 	}
 
-	if e.heap.Len() == 0 {
+	if e.q.len() == 0 {
 		e.res.Quiescent = true
 	}
 	// Mark scheduled crashes that were never reached by an event so the
@@ -348,7 +399,7 @@ func (e *engine) run() *Result {
 	return e.res
 }
 
-func (e *engine) markCrashed(i int) {
+func (e *Engine) markCrashed(i int) {
 	st := &e.nodes[i]
 	if st.crashed {
 		return

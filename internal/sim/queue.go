@@ -1,0 +1,101 @@
+package sim
+
+// eventQueue is the engine's pending-event queue: a concrete quaternary
+// (4-ary) min-heap of *event ordered by the model's event order — time,
+// then deliveries before acks, then insertion sequence (see less). It
+// replaces container/heap, whose interface methods cost a dynamic dispatch
+// plus an allocation per Push/Pop on the hottest engine path.
+//
+// The model bounds how far ahead the queue can see: every plan the engine
+// admits delivers in the window (now, now+Fack], so the queue never holds
+// more than the events of the broadcasts in flight across one Fack window.
+// That bounded horizon keeps the heap shallow — with arity 4 a
+// 10k-event backlog is seven levels deep — and the wide nodes make
+// sift-down touch a quarter of the levels a binary heap would, on entries
+// that sit in at most two cache lines.
+//
+// The comparator is a strict total order (seq is unique), so the pop
+// sequence is independent of the heap's internal layout: swapping the
+// binary heap for this one cannot reorder an execution, and sweeps remain
+// byte-identical.
+type eventQueue struct {
+	evs []*event
+}
+
+// less is the model's event order: time, then deliveries before acks (the
+// paper's synchronous scheduler delivers every co-timed message before any
+// co-timed ack), then deterministically by insertion sequence.
+func (q *eventQueue) less(a, b *event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.kind != b.kind {
+		return a.kind == EventDeliver
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) len() int { return len(q.evs) }
+
+// push inserts ev, sifting it up from the tail.
+func (q *eventQueue) push(ev *event) {
+	q.evs = append(q.evs, ev)
+	i := len(q.evs) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !q.less(q.evs[i], q.evs[parent]) {
+			break
+		}
+		q.evs[i], q.evs[parent] = q.evs[parent], q.evs[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event. It panics on an empty queue
+// (the engine's run loop checks len first).
+func (q *eventQueue) pop() *event {
+	top := q.evs[0]
+	n := len(q.evs) - 1
+	q.evs[0] = q.evs[n]
+	q.evs[n] = nil
+	q.evs = q.evs[:n]
+	if n > 0 {
+		q.siftDown(0)
+	}
+	return top
+}
+
+// drain empties the queue in O(len), calling release on each event —
+// heap order is irrelevant to a recycling pass, so no sifting.
+func (q *eventQueue) drain(release func(*event)) {
+	for i, ev := range q.evs {
+		release(ev)
+		q.evs[i] = nil
+	}
+	q.evs = q.evs[:0]
+}
+
+func (q *eventQueue) siftDown(i int) {
+	n := len(q.evs)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q.less(q.evs[c], q.evs[min]) {
+				min = c
+			}
+		}
+		if !q.less(q.evs[min], q.evs[i]) {
+			return
+		}
+		q.evs[i], q.evs[min] = q.evs[min], q.evs[i]
+		i = min
+	}
+}

@@ -5,8 +5,13 @@
 // simulator delegates every timing decision to a pluggable Scheduler: at
 // each broadcast the scheduler fills a delivery plan (a receive time per
 // neighbor plus an acknowledgment time) into an engine-owned reusable
-// buffer, and the engine executes plans on a virtual-time event heap whose
-// entries are pooled — the steady-state broadcast path allocates nothing.
+// buffer, and the engine executes plans on a concrete quaternary min-heap
+// of pooled events (see eventQueue) — the steady-state broadcast path
+// allocates nothing and dispatches no interface methods. Engines are
+// reusable: NewEngine/Reset re-arm one engine for configuration after
+// configuration, keeping node state, Result slices, the plan buffer and
+// the event freelist, which is how sweep workers amortize per-run setup
+// across the seeds of a cell.
 // The engine validates every plan against the
 // model contract — deliveries strictly after the broadcast, the ack no
 // earlier than any delivery, everything within the scheduler's declared
@@ -124,7 +129,11 @@ type Config struct {
 	// Audit enables the per-message id-count audit.
 	Audit bool
 	// Observer, when non-nil, receives every engine event in execution
-	// order (for tracing).
+	// order (for tracing). Event.Message is only guaranteed valid for the
+	// duration of the callback: pooling algorithms (e.g. floodpaxos's
+	// NewFactory nodes) recycle their broadcast buffers once acked, so an
+	// observer that retains events must extract what it needs rather than
+	// hold the Message reference (trace.Recorder formats only the type).
 	Observer func(Event)
 }
 
@@ -294,8 +303,8 @@ func (r *Result) DecidedValues() []amac.Value {
 	return vals
 }
 
-// event is a heap entry. seq breaks time ties deterministically in
-// insertion order.
+// event is a queue entry. seq breaks time ties deterministically in
+// insertion order (see eventQueue in queue.go for the full order).
 type event struct {
 	time int64
 	seq  int64
@@ -306,39 +315,12 @@ type event struct {
 	msg  amac.Message
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-// Less orders events by time, then deliveries before acks (the paper's
-// synchronous scheduler "delivers all nodes' current message to all
-// recipients, then provides all nodes with an ack" — co-timed deliveries
-// must precede co-timed acks), then deterministically by insertion order.
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	if h[i].kind != h[j].kind {
-		return h[i].kind == EventDeliver
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
 // Run executes the configuration to completion and returns the result. It
 // panics on configuration errors (nil fields, length mismatches, duplicate
 // ids) and on scheduler contract violations; algorithm/problem violations
-// are recorded in the result instead.
+// are recorded in the result instead. Callers running many configurations
+// back to back can instead reuse one Engine via NewEngine/Reset, which
+// keeps the engine's buffers across runs.
 func Run(cfg Config) *Result {
-	e := newEngine(cfg)
-	return e.run()
+	return NewEngine(cfg).Run()
 }

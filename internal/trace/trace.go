@@ -71,7 +71,10 @@ func (r *Recorder) Total() int { return r.total }
 // Count returns how many events of the given kind were observed.
 func (r *Recorder) Count(k sim.EventKind) int { return r.counts[k] }
 
-// Events returns the retained events in observation order.
+// Events returns the retained events in observation order. Event.Message
+// references may point at buffers a pooling algorithm has since recycled
+// (see sim.Config.Observer); inspect their dynamic type, not their
+// contents — Format prints only %T for this reason.
 func (r *Recorder) Events() []sim.Event {
 	out := make([]sim.Event, 0, len(r.events))
 	out = append(out, r.events[r.start:]...)
