@@ -1,0 +1,332 @@
+// Command amacexplore searches the schedule space of one scenario for
+// consensus violations, minimizes the counterexamples it finds, and
+// replays committed counterexample artifacts.
+//
+// The scenario is named exactly as in amacsim's single-cell mode (the
+// harness registries: -algo, -topo, -sched, -fack, -seed, -inputs,
+// -crash, -overlay). The explorer records the scenario's base execution
+// as a sim.Schedule — every broadcast's delivery plan, every
+// unreliable-edge coin, every crash time — then replays -budget seeded
+// perturbations of it (swapped delivery orders, re-jittered delays within
+// Fack, flipped overlay coins, shifted or dropped crashes) on a parallel
+// worker pool, deduplicating candidates by schedule hash and classifying
+// every outcome against the consensus properties. Exploration is
+// deterministic given the scenario and -searchseed.
+//
+//	amacexplore -algo wpaxos -topo ring:9 -sched random -fack 4 -seed 4 \
+//	            -crash midbroadcast -overlay chords -budget 512
+//
+// With -minimize the first violation (the base run's own, if it
+// violates) is delta-debugged down to a minimal failing schedule: crashes
+// dropped, unreliable deliveries pruned chunk-wise, the recorded suffix
+// truncated, and the topology itself shrunk where the family allows —
+// each reduction accepted only if the violation reproduces, and re-closed
+// into a complete schedule so the final artifact replays with zero
+// divergence. -out FILE writes the winning artifact.
+//
+//	amacexplore -algo wpaxos -topo ring:9 -sched random -fack 4 -seed 4 \
+//	            -crash midbroadcast -overlay chords -minimize -out stall.json
+//
+// With -replay FILE the tool instead re-verifies a committed artifact:
+// the schedule replays against its recorded scenario and the outcome is
+// checked against the artifact's recorded violation (reproducing a
+// recorded violation is success). -trace FILE additionally dumps the
+// replay's full event trace as JSON Lines — the same format amacsim
+// -trace emits, one trace.JSONLEvent per line.
+//
+//	amacexplore -replay internal/harness/testdata/stall_wpaxos_midbroadcast_chords.json
+//
+// Artifacts are indented JSON with this layout (explore.Artifact):
+//
+//	{"format": 1,
+//	 "scenario": {"algo": …, "topo": …, "sched": …, "fack": …, "seed": …,
+//	              "crashes": …, "overlay": …},
+//	 "max_events": …,
+//	 "schedule": {"fack": …, "deliver_p": …, "fallback_seed": …,
+//	              "crashes": [{"node": …, "at": …}, …],
+//	              "steps": [{"sender": …, "seq": …, "now": …, "nr": …,
+//	                         "recv": [t | -1, …], "ack": …}, …]},
+//	 "violation": {"kind": …, "errors": […], "quiescent": …, "events": …}}
+//
+// where steps[i].recv is positional (slot j < nr is the j-th reliable
+// neighbor of sender, later slots are unreliable neighbors, -1 means not
+// delivered) and all times are absolute virtual times.
+//
+// Exit status: explore mode exits 1 when any violation was found (0 on a
+// clean sweep); replay mode exits 1 when the artifact's outcome does not
+// match its recorded violation (0 when it reproduces); usage and I/O
+// errors exit 2.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/absmac/absmac/internal/explore"
+	"github.com/absmac/absmac/internal/harness"
+	"github.com/absmac/absmac/internal/sim"
+	"github.com/absmac/absmac/internal/trace"
+)
+
+func main() {
+	// Scenario flags (amacsim single-cell grammar).
+	algo := flag.String("algo", "wpaxos", "algorithm: "+strings.Join(harness.Algorithms(), " | "))
+	topo := flag.String("topo", "ring:9", "topology spec, e.g. clique:16, grid:4x4, random:24:0.1")
+	sched := flag.String("sched", "random", "scheduler: "+strings.Join(harness.Schedulers(), " | "))
+	fack := flag.Int64("fack", 4, "scheduler delivery bound Fack")
+	seed := flag.Int64("seed", 1, "scenario seed (scheduler, algorithm, topology, crashes, overlay)")
+	inputs := flag.String("inputs", "alternating", "input pattern: "+strings.Join(harness.InputPatterns(), " | "))
+	crash := flag.String("crash", "none", "crash pattern name[@T]: "+strings.Join(harness.CrashPatterns(), " | "))
+	overlay := flag.String("overlay", "none", "unreliable overlay family[:param][@Q]: "+strings.Join(harness.Overlays(), " | "))
+
+	// Exploration flags.
+	budget := flag.Int("budget", 256, "perturbed schedules to replay")
+	searchSeed := flag.Int64("searchseed", 1, "seed for candidate generation (independent of the scenario seed)")
+	workers := flag.Int("workers", 0, "replay worker-pool width (0 = GOMAXPROCS)")
+	maxEvents := flag.Int("maxevents", 0, "per-execution event cap; capped undecided runs classify as non-termination (0 = sweep default)")
+	minimize := flag.Bool("minimize", false, "delta-debug the first violation down to a minimal failing schedule")
+	out := flag.String("out", "", "write the found (minimized with -minimize) counterexample artifact to this file")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+
+	// Replay mode.
+	replay := flag.String("replay", "", "re-verify a committed artifact file instead of exploring")
+	traceFile := flag.String("trace", "", "with -replay: dump the replay's event trace to this file as JSON Lines")
+
+	flag.Parse()
+
+	if *replay != "" {
+		// The artifact fixes the scenario and the schedule; fail loudly on
+		// flags that would otherwise be silently ignored (same convention
+		// as amacsim's per-mode flag guard).
+		replayOnly := map[string]bool{"replay": true, "trace": true, "json": true}
+		var stray []string
+		flag.Visit(func(f *flag.Flag) {
+			if !replayOnly[f.Name] {
+				stray = append(stray, "-"+f.Name)
+			}
+		})
+		if len(stray) > 0 {
+			os.Exit(fail(fmt.Errorf("%s not allowed with -replay: the artifact carries the scenario, schedule and event cap", strings.Join(stray, ", "))))
+		}
+		os.Exit(runReplay(*replay, *traceFile, *jsonOut))
+	}
+	if *traceFile != "" {
+		os.Exit(fail(fmt.Errorf("-trace only applies with -replay")))
+	}
+	t, err := harness.ParseTopo(*topo)
+	if err != nil {
+		os.Exit(fail(err))
+	}
+	sc := harness.Scenario{Algo: *algo, Topo: t, Inputs: *inputs, Sched: *sched, Fack: *fack, Seed: *seed, Crashes: *crash, Overlay: *overlay}
+	os.Exit(runExplore(sc, explore.Options{
+		Budget: *budget, Workers: *workers, Seed: *searchSeed, MaxEvents: *maxEvents,
+	}, *minimize, *out, *jsonOut))
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "amacexplore:", err)
+	return 2
+}
+
+// exploreOutput is the -json schema of explore mode.
+type exploreOutput struct {
+	Report *explore.Report       `json:"report"`
+	Shrink *explore.ShrinkResult `json:"shrink,omitempty"`
+}
+
+func runExplore(sc harness.Scenario, opts explore.Options, minimize bool, out string, jsonOut bool) int {
+	rep, err := explore.Explore(sc, opts)
+	if err != nil {
+		return fail(err)
+	}
+
+	// Pick the violation to carry forward: the base run's own beats any
+	// perturbed finding (it needs no perturbation to reproduce).
+	var (
+		kind      string
+		schedule  = rep.BaseSchedule
+		violation = rep.Base
+	)
+	if violation == nil && len(rep.Findings) > 0 {
+		f := rep.Findings[0]
+		// A perturbed finding's schedule diverges by construction (the
+		// replay falls back past the perturbation point). Close it into a
+		// complete recording of the violating execution, so the artifact
+		// replays divergence-free and -replay verification passes.
+		runner, err := rep.Scenario.NewReplayRunner()
+		if err != nil {
+			return fail(err)
+		}
+		fOut, _, closed, err := runner.RunRecorded(f.Schedule, nil)
+		if err != nil {
+			return fail(err)
+		}
+		v := explore.Classify(fOut)
+		if v == nil || v.Kind != f.Violation.Kind {
+			return fail(fmt.Errorf("finding %d did not reproduce on re-recording (got %+v, want %s)", f.Candidate, v, f.Violation.Kind))
+		}
+		schedule = closed
+		violation = v
+	}
+	if violation != nil {
+		kind = violation.Kind
+	}
+
+	output := exploreOutput{Report: rep}
+	artifact := &explore.Artifact{
+		Format: explore.ArtifactFormat, Scenario: rep.Scenario,
+		MaxEvents: rep.Scenario.MaxEvents, Schedule: schedule, Violation: violation,
+		Note: fmt.Sprintf("amacexplore budget=%d searchseed=%d", opts.Budget, opts.Seed),
+	}
+	if minimize && violation != nil {
+		res, err := explore.Shrink(rep.Scenario, schedule, kind, rep.Scenario.MaxEvents)
+		if err != nil {
+			return fail(err)
+		}
+		res.Artifact.Note = artifact.Note + " minimized"
+		output.Shrink = res
+		artifact = res.Artifact
+	}
+	if out != "" {
+		if violation == nil {
+			fmt.Fprintln(os.Stderr, "amacexplore: no violation found; not writing", out)
+		} else if err := artifact.WriteFile(out); err != nil {
+			return fail(err)
+		}
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(output); err != nil {
+			return fail(err)
+		}
+	} else {
+		printReport(rep, output.Shrink, out, violation)
+	}
+	if violation != nil {
+		return 1
+	}
+	return 0
+}
+
+func printReport(rep *explore.Report, shrink *explore.ShrinkResult, out string, violation *explore.Violation) {
+	fmt.Printf("scenario    %s on %s under %s (Fack=%d, seed=%d, crashes=%s, overlay=%s)\n",
+		rep.Scenario.Algo, rep.Scenario.Topo, rep.Scenario.Sched, rep.Scenario.Fack, rep.Scenario.Seed,
+		rep.Scenario.Crashes, rep.Scenario.Overlay)
+	fmt.Printf("base run    %d steps, %d deliveries", rep.BaseSteps, rep.BaseDeliveries)
+	if rep.Base != nil {
+		fmt.Printf(" — VIOLATES (%s, %d events, quiescent=%v)", rep.Base.Kind, rep.Base.Events, rep.Base.Quiescent)
+	}
+	fmt.Println()
+	s := rep.Stats
+	fmt.Printf("search      %d replays (%d deduped, %d diverged): %d violating schedules\n",
+		s.Replays, s.Deduped, s.Diverged, s.Violations)
+	for i, f := range rep.Findings {
+		if i == 5 {
+			fmt.Printf("            … %d more\n", len(rep.Findings)-i)
+			break
+		}
+		fmt.Printf("  finding   candidate %d: %s (%d steps, %d deliveries, diverged at %d)\n",
+			f.Candidate, f.Violation.Kind, f.Steps, f.Deliveries, f.DivergedAt)
+	}
+	if shrink != nil {
+		a := shrink.Artifact
+		fmt.Printf("minimized   %d->%d steps, %d->%d deliveries, %d->%d crashes on %s (%d attempts)\n",
+			shrink.FromSteps, len(a.Schedule.Steps), shrink.FromDeliveries, a.Schedule.Deliveries(),
+			shrink.FromCrashes, len(a.Schedule.Crashes), a.Scenario.Topo, shrink.Attempts)
+	}
+	switch {
+	case violation == nil:
+		fmt.Println("verdict     no violation found")
+	case out != "":
+		fmt.Printf("verdict     %s violation; artifact written to %s\n", violation.Kind, out)
+	default:
+		fmt.Printf("verdict     %s violation (pass -out FILE to keep the artifact)\n", violation.Kind)
+	}
+}
+
+// replayOutput is the -json schema of replay mode.
+type replayOutput struct {
+	Artifact   string             `json:"artifact"`
+	Violation  *explore.Violation `json:"violation,omitempty"`
+	Recorded   *explore.Violation `json:"recorded_violation,omitempty"`
+	Diverged   bool               `json:"diverged"`
+	DivergedAt int                `json:"diverged_at"`
+	Reproduced bool               `json:"reproduced"`
+}
+
+func runReplay(path, traceFile string, jsonOut bool) int {
+	a, err := explore.ReadFile(path)
+	if err != nil {
+		return fail(err)
+	}
+	var rec *trace.Recorder
+	var observer func(sim.Event)
+	if traceFile != "" {
+		// Unbounded: the dumped trace must be the whole replay, not the
+		// last ring-buffer window of it.
+		rec = trace.New(trace.Unbounded)
+		observer = rec.Observer()
+	}
+	out, rp, err := a.Replay(observer)
+	if err != nil {
+		return fail(err)
+	}
+	if rec != nil {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := rec.DumpJSONL(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+	}
+
+	got := explore.Classify(out)
+	// Reproduction: a clean replay (no divergence — the schedule fully
+	// drove the run) whose violation kind matches what the artifact
+	// recorded (both nil for a healthy artifact).
+	reproduced := !rp.Diverged() &&
+		((got == nil) == (a.Violation == nil)) &&
+		(got == nil || got.Kind == a.Violation.Kind)
+	o := replayOutput{
+		Artifact: path, Violation: got, Recorded: a.Violation,
+		Diverged: rp.Diverged(), DivergedAt: rp.DivergedAt(), Reproduced: reproduced,
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(o); err != nil {
+			return fail(err)
+		}
+	} else {
+		fmt.Printf("artifact    %s\n", path)
+		fmt.Printf("scenario    %s on %s under %s (seed=%d, crashes=%s, overlay=%s)\n",
+			a.Scenario.Algo, a.Scenario.Topo, a.Scenario.Sched, a.Scenario.Seed, a.Scenario.Crashes, a.Scenario.Overlay)
+		fmt.Printf("schedule    %d steps, %d deliveries, %d crashes\n",
+			len(a.Schedule.Steps), a.Schedule.Deliveries(), len(a.Schedule.Crashes))
+		fmt.Printf("replay      diverged=%v events=%d quiescent=%v\n", rp.Diverged(), out.Result.Events, out.Result.Quiescent)
+		if got != nil {
+			fmt.Printf("violation   %s: %v\n", got.Kind, got.Errors)
+		} else {
+			fmt.Println("violation   none")
+		}
+		if reproduced {
+			fmt.Println("verdict     artifact reproduces")
+		} else {
+			fmt.Println("verdict     MISMATCH: replay does not reproduce the recorded outcome")
+		}
+	}
+	if !reproduced {
+		return 1
+	}
+	return 0
+}

@@ -12,6 +12,18 @@
 //	amacsim -algo floodpaxos -topo ring:9 -sched random -fack 4 \
 //	        -crash midbroadcast -overlay chords@0.8
 //
+// In single-cell mode, -trace FILE dumps the full event trace as JSON
+// Lines (one trace.JSONLEvent per line — the same format amacexplore's
+// replay traces use; -v keeps printing the human-readable trace to
+// stdout), and -record FILE records the execution's schedule — every
+// delivery plan, unreliable-edge coin and crash time — as a replayable
+// counterexample artifact for `amacexplore -replay` / `-minimize` (see
+// cmd/amacexplore for the artifact format):
+//
+//	amacsim -algo wpaxos -topo ring:9 -sched random -fack 4 -seed 4 \
+//	        -crash midbroadcast -overlay chords -record stall.json
+//	amacexplore -replay stall.json
+//
 // Sweep mode expands the cross product of comma-separated axes and runs it
 // on a GOMAXPROCS-wide worker pool, aggregating each (algo, topo, inputs,
 // sched, fack, crashes, overlay) cell over all seeds:
@@ -86,6 +98,7 @@ import (
 	"strings"
 
 	"github.com/absmac/absmac/internal/consensus"
+	"github.com/absmac/absmac/internal/explore"
 	"github.com/absmac/absmac/internal/harness"
 	"github.com/absmac/absmac/internal/sim"
 	"github.com/absmac/absmac/internal/trace"
@@ -103,6 +116,8 @@ func main() {
 	crash := flag.String("crash", "none", "crash pattern name[@T]: "+strings.Join(harness.CrashPatterns(), " | "))
 	overlay := flag.String("overlay", "none", "unreliable overlay family[:param][@Q]: "+strings.Join(harness.Overlays(), " | "))
 	verbose := flag.Bool("v", false, "print the full event trace (single-cell mode only)")
+	traceFile := flag.String("trace", "", "dump the full event trace to this file as JSON Lines (single-cell mode only)")
+	recordFile := flag.String("record", "", "record the execution's schedule to this counterexample artifact file (single-cell mode only; replay with amacexplore -replay)")
 
 	// Sweep flags.
 	sweep := flag.Bool("sweep", false, "run a scenario sweep instead of a single execution")
@@ -119,7 +134,7 @@ func main() {
 
 	// Flags have no effect outside their mode; fail loudly rather than
 	// let the user attribute results to a flag that was dropped.
-	singleOnly := map[string]bool{"algo": true, "topo": true, "sched": true, "fack": true, "seed": true, "crash": true, "overlay": true, "v": true}
+	singleOnly := map[string]bool{"algo": true, "topo": true, "sched": true, "fack": true, "seed": true, "crash": true, "overlay": true, "v": true, "trace": true, "record": true}
 	sweepOnly := map[string]bool{"algos": true, "topos": true, "scheds": true, "facks": true, "crashes": true, "overlays": true, "seeds": true, "workers": true, "json": true}
 	var stray []string
 	flag.Visit(func(f *flag.Flag) {
@@ -136,7 +151,7 @@ func main() {
 	if *sweep {
 		os.Exit(runSweep(*algos, *topos, *scheds, *facks, *inputs, *crashes, *overlays, *seeds, *workers, *jsonOut))
 	}
-	os.Exit(runSingle(*algo, *topo, *sched, *inputs, *crash, *overlay, *fack, *seed, *verbose))
+	os.Exit(runSingle(*algo, *topo, *sched, *inputs, *crash, *overlay, *traceFile, *recordFile, *fack, *seed, *verbose))
 }
 
 func fail(err error) int {
@@ -144,36 +159,91 @@ func fail(err error) int {
 	return 2
 }
 
-func runSingle(algo, topo, sched, inputs, crash, overlay string, fack, seed int64, verbose bool) int {
+func runSingle(algo, topo, sched, inputs, crash, overlay, traceFile, recordFile string, fack, seed int64, verbose bool) int {
 	t, err := harness.ParseTopo(topo)
 	if err != nil {
 		return fail(err)
 	}
 	sc := harness.Scenario{Algo: algo, Topo: t, Inputs: inputs, Sched: sched, Fack: fack, Seed: seed, Crashes: crash, Overlay: overlay}
+	// The display config: the summary lines print facts (edge counts, the
+	// crash schedule, the overlay graph) that Outcome does not carry. In
+	// -record mode RunRecorded builds its own identical config — scenario
+	// construction is deterministic, so both describe the same execution,
+	// and the duplicate build is one small graph per CLI invocation.
 	cfg, err := sc.Config()
 	if err != nil {
 		return fail(err)
 	}
 	var rec *trace.Recorder
-	if verbose {
-		rec = trace.New(0)
+	if verbose || traceFile != "" {
+		// Unbounded: -v and -trace promise the FULL trace, not the last
+		// ring-buffer window of it.
+		rec = trace.New(trace.Unbounded)
 		cfg.Observer = rec.Observer()
 	}
-	res := sim.Run(cfg)
-	rep := consensus.Check(cfg.Inputs, res)
+	var res *sim.Result
+	var rep *consensus.Report
+	diameter := -1
+	if recordFile != "" {
+		// Record the schedule and write it as a replayable artifact (the
+		// escape hatch into amacexplore -replay / -minimize). The recorded
+		// run is byte-identical to an unrecorded one.
+		var out *harness.Outcome
+		var schedule *sim.Schedule
+		if rec != nil {
+			out, schedule, err = sc.RunRecorded(rec.Observer())
+		} else {
+			out, schedule, err = sc.RunRecorded()
+		}
+		if err != nil {
+			return fail(err)
+		}
+		res = out.Result
+		rep = out.Report
+		diameter = out.Diameter // RunRecorded already paid the BFS
+		artifact := &explore.Artifact{
+			Format: explore.ArtifactFormat, Scenario: sc,
+			Schedule: schedule, Violation: explore.Classify(out),
+			Note: "amacsim -record",
+		}
+		if err := artifact.WriteFile(recordFile); err != nil {
+			return fail(err)
+		}
+	} else {
+		res = sim.Run(cfg)
+		rep = consensus.Check(cfg.Inputs, res)
+	}
 	if rec != nil {
-		if err := rec.Dump(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "amacsim:", err)
+		if verbose {
+			if err := rec.Dump(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "amacsim:", err)
+			}
+		}
+		if traceFile != "" {
+			f, err := os.Create(traceFile)
+			if err != nil {
+				return fail(err)
+			}
+			if err := rec.DumpJSONL(f); err != nil {
+				f.Close()
+				return fail(err)
+			}
+			if err := f.Close(); err != nil {
+				return fail(err)
+			}
 		}
 		fmt.Println("trace summary:", rec.Summary())
 	}
 
 	g := cfg.Graph
+	if diameter < 0 {
+		diameter = g.Diameter()
+	}
 	// Structural schedulers (edgeorder) override the requested bound, so
 	// report and normalize by what the scheduler actually declared.
 	fack = cfg.Scheduler.Fack()
 	fmt.Printf("algorithm   %s\n", algo)
-	fmt.Printf("topology    %s (n=%d, m=%d, diameter=%d)\n", t, g.N(), g.M(), g.Diameter())
+	fmt.Printf("topology    %s (n=%d, m=%d, diameter=%d)\n", t, g.N(), g.M(), diameter)
 	if cfg.Unreliable != nil {
 		fmt.Printf("overlay     %s (%d unreliable edges)\n", overlay, cfg.Unreliable.M())
 	}
@@ -188,7 +258,7 @@ func runSingle(algo, topo, sched, inputs, crash, overlay string, fack, seed int6
 	if rep.SurvivorDecideTime >= 0 {
 		fmt.Printf("decide time %d (%.2f x Fack, %.2f x D*Fack; survivors)\n", rep.SurvivorDecideTime,
 			float64(rep.SurvivorDecideTime)/float64(fack),
-			float64(rep.SurvivorDecideTime)/float64(fack*int64(g.Diameter()+1)))
+			float64(rep.SurvivorDecideTime)/float64(fack*int64(diameter+1)))
 	} else {
 		fmt.Println("decide time n/a (no survivor decided)")
 	}

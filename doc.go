@@ -39,4 +39,18 @@
 //	        -overlays randomextra:0.25,chords -seeds 8
 //
 // — and the JSON cell schema.
+//
+// On top of seeded sweeps sits the schedule-space explorer: internal/sim
+// records every nondeterministic decision of a run (each broadcast's
+// delivery plan, every unreliable-edge coin, every crash time) into a
+// JSON-serializable Schedule that replays byte-identically, and
+// internal/explore searches perturbations of recorded schedules — swapped
+// delivery orders, re-jittered delays within Fack, flipped overlay coins,
+// shifted crashes — for property violations, then delta-debugs what it
+// finds into minimal replayable counterexample artifacts. cmd/amacexplore
+// is the CLI (-budget, -minimize, -replay); `amacsim -record` captures
+// any single run as an artifact and `amacsim -trace` dumps machine-
+// readable JSONL event traces. The minimized wPAXOS liveness stall under
+// internal/harness/testdata/ is the first artifact found this way (see
+// ROADMAP.md for its root-cause analysis).
 package absmac

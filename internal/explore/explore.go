@@ -1,0 +1,411 @@
+// Package explore searches the schedule space of a scenario for property
+// violations and minimizes the counterexamples it finds.
+//
+// The paper's adversary is the scheduler: correctness must hold for every
+// delivery ordering within the Fack bound, not just the orderings a few
+// seeds happen to sample. This package turns the simulator's schedule
+// record/replay layer (sim.Schedule, sim.Replay, harness.RunRecorded /
+// harness.ReplayRunner) into a systematic search: record the base
+// scenario's execution, then explore perturbations of its recorded
+// decisions — swapped delivery orders, re-jittered delays within Fack,
+// flipped unreliable-edge coins, shifted or dropped crashes — replaying
+// each candidate on a worker pool of reusable engines and hunting for
+// consensus violations (non-termination via the event cap, agreement and
+// validity via consensus.Check, substrate violations via the engine's own
+// audit).
+//
+// Exploration is deterministic given (scenario, Options): candidates are
+// generated centrally — a bounded radius-1 neighborhood enumeration of the
+// base schedule followed by seeded random walks — deduplicated by schedule
+// hash, and findings are reported in candidate order regardless of worker
+// scheduling.
+//
+// The Shrinker (shrink.go) delta-debugs a violating schedule down to a
+// minimal failing artifact; Artifact (artifact.go) is the JSON file format
+// cmd/amacexplore reads and writes.
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/absmac/absmac/internal/harness"
+	"github.com/absmac/absmac/internal/sim"
+)
+
+// Violation kinds, in the severity order Classify assigns them.
+const (
+	KindAgreement      = "agreement"
+	KindValidity       = "validity"
+	KindNonTermination = "non-termination"
+	KindSubstrate      = "substrate"
+)
+
+// Violation describes one property breach found in an execution.
+type Violation struct {
+	// Kind is the dominant violated property (severity order: agreement,
+	// validity, non-termination, substrate).
+	Kind string `json:"kind"`
+	// Errors lists every property error the checker reported.
+	Errors []string `json:"errors,omitempty"`
+	// Quiescent distinguishes a stall (the execution drained its event
+	// queue with undecided survivors) from a potential livelock cut off by
+	// the event cap. Meaningful for non-termination findings.
+	Quiescent bool `json:"quiescent"`
+	// Events is the execution's processed-event count.
+	Events int `json:"events"`
+}
+
+// Classify reduces an outcome to its violation, or nil when the execution
+// satisfied agreement, validity and termination with a clean substrate.
+func Classify(o *harness.Outcome) *Violation {
+	rep := o.Report
+	if rep.OK() {
+		return nil
+	}
+	kind := KindSubstrate
+	switch {
+	case !rep.Agreement:
+		kind = KindAgreement
+	case !rep.Validity:
+		kind = KindValidity
+	case !rep.Termination:
+		kind = KindNonTermination
+	}
+	return &Violation{
+		Kind:      kind,
+		Errors:    rep.Errors,
+		Quiescent: o.Result.Quiescent,
+		Events:    o.Result.Events,
+	}
+}
+
+// Options tunes an exploration. The zero value means: budget 256, workers
+// GOMAXPROCS, seed 1, the sweep default event cap, walk length 8, all
+// findings reported.
+type Options struct {
+	// Budget is the number of perturbed schedules to replay.
+	Budget int
+	// Workers is the replay worker-pool width (<= 0 means GOMAXPROCS).
+	Workers int
+	// Seed drives candidate generation.
+	Seed int64
+	// MaxEvents caps each execution; a capped run with undecided survivors
+	// classifies as non-termination. 0 means harness.DefaultSweepMaxEvents.
+	MaxEvents int
+	// WalkLen is the random-walk chain length: every WalkLen-th walk
+	// candidate restarts from the base schedule, in between each candidate
+	// perturbs its predecessor.
+	WalkLen int
+	// MaxFindings truncates the reported findings (0 = report all). The
+	// full budget always runs, so results are deterministic.
+	MaxFindings int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Budget <= 0 {
+		o.Budget = 256
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxEvents <= 0 {
+		o.MaxEvents = harness.DefaultSweepMaxEvents
+	}
+	if o.WalkLen <= 0 {
+		o.WalkLen = 8
+	}
+	return o
+}
+
+// Finding is one violating candidate schedule.
+type Finding struct {
+	// Candidate is the candidate's generation index — the deterministic
+	// identity of the finding within one exploration.
+	Candidate int `json:"candidate"`
+	// Violation describes what broke.
+	Violation Violation `json:"violation"`
+	// Steps and Deliveries size the violating schedule.
+	Steps      int `json:"steps"`
+	Deliveries int `json:"deliveries"`
+	// DivergedAt is the step index at which the replay left the base
+	// recording (-1 when it replayed entirely — only possible for the
+	// base schedule itself).
+	DivergedAt int `json:"diverged_at"`
+	// Schedule is the violating schedule (not serialized in reports;
+	// artifacts carry schedules).
+	Schedule *sim.Schedule `json:"-"`
+}
+
+// Stats counts what an exploration did.
+type Stats struct {
+	// Replays counts replayed candidates. It can fall short of
+	// Options.Budget when perturbation exhausts the reachable schedule
+	// space (every further candidate deduplicates away).
+	Replays int `json:"replays"`
+	// Deduped counts candidates discarded as hash-duplicates of earlier
+	// ones (the base schedule included).
+	Deduped int `json:"deduped"`
+	// Diverged counts replays that left the base recording (perturbations
+	// upstream of a broadcast change everything after it, so this is
+	// normally close to Replays).
+	Diverged int `json:"diverged"`
+	// Violations counts violating candidates before MaxFindings truncation.
+	Violations int `json:"violations"`
+}
+
+// Report is the result of one exploration.
+type Report struct {
+	Scenario harness.Scenario `json:"scenario"`
+	// Base is the violation of the unperturbed recorded run, if any — the
+	// scenario's own behaviour is candidate -1, minimizable like any
+	// finding.
+	Base *Violation `json:"base_violation,omitempty"`
+	// BaseSteps/BaseDeliveries size the base recording.
+	BaseSteps      int `json:"base_steps"`
+	BaseDeliveries int `json:"base_deliveries"`
+	// Findings lists violating candidates in candidate order.
+	Findings []*Finding `json:"findings"`
+	Stats    Stats      `json:"stats"`
+	// BaseSchedule is the base recording (artifact material, not report
+	// JSON).
+	BaseSchedule *sim.Schedule `json:"-"`
+}
+
+// candidate pairs a generated schedule with its deterministic index.
+type candidate struct {
+	idx int
+	s   *sim.Schedule
+}
+
+// Explore records the scenario's base execution and searches perturbations
+// of its schedule for property violations. Deterministic given (sc, opts):
+// rerunning an exploration reproduces its findings exactly.
+func Explore(sc harness.Scenario, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	sc.MaxEvents = opts.MaxEvents
+	baseOut, baseSched, err := sc.RunRecorded()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Scenario:       sc,
+		Base:           Classify(baseOut),
+		BaseSteps:      len(baseSched.Steps),
+		BaseDeliveries: baseSched.Deliveries(),
+		BaseSchedule:   baseSched,
+	}
+
+	results := make([]*Finding, opts.Budget)
+	runErrs := make([]error, opts.Workers)
+	var diverged atomic.Int64
+	work := make(chan candidate, opts.Workers*2)
+
+	// Central deterministic candidate generation: neighborhood first, then
+	// seeded random walks; both deduplicated against everything generated
+	// so far (and against the base schedule).
+	gen := &generator{
+		base: baseSched,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+		seen: map[uint64]bool{baseSched.Hash(): true},
+		opts: opts,
+	}
+	go func() {
+		defer close(work)
+		gen.run(work)
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runner, err := sc.NewReplayRunner()
+			if err != nil {
+				runErrs[w] = err
+				for range work { // drain so the producer can finish
+				}
+				return
+			}
+			for c := range work {
+				out, rp, err := runner.Run(c.s, nil)
+				if err != nil {
+					runErrs[w] = fmt.Errorf("candidate %d: %w", c.idx, err)
+					continue
+				}
+				if rp.Diverged() {
+					diverged.Add(1)
+				}
+				if v := Classify(out); v != nil {
+					results[c.idx] = &Finding{
+						Candidate:  c.idx,
+						Violation:  *v,
+						Steps:      len(c.s.Steps),
+						Deliveries: c.s.Deliveries(),
+						DivergedAt: rp.DivergedAt(),
+						Schedule:   c.s,
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range runErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	rep.Stats = Stats{
+		Replays:  gen.produced,
+		Deduped:  gen.deduped,
+		Diverged: int(diverged.Load()),
+	}
+	for _, f := range results {
+		if f == nil {
+			continue
+		}
+		rep.Stats.Violations++
+		if opts.MaxFindings > 0 && len(rep.Findings) >= opts.MaxFindings {
+			continue
+		}
+		rep.Findings = append(rep.Findings, f)
+	}
+	return rep, nil
+}
+
+// generator produces the deterministic candidate sequence.
+type generator struct {
+	base     *sim.Schedule
+	rng      *rand.Rand
+	seen     map[uint64]bool
+	opts     Options
+	produced int
+	deduped  int
+}
+
+// emit deduplicates and sends a candidate; it reports whether the
+// candidate was fresh.
+func (g *generator) emit(work chan<- candidate, s *sim.Schedule) bool {
+	h := s.Hash()
+	if g.seen[h] {
+		g.deduped++
+		return false
+	}
+	g.seen[h] = true
+	work <- candidate{idx: g.produced, s: s}
+	g.produced++
+	return true
+}
+
+func (g *generator) run(work chan<- candidate) {
+	// Phase 1 — bounded neighborhood: radius-1 perturbations of the base
+	// schedule, enumerated step by step (jitter the step's timing, swap
+	// its first two delivered slots, flip each of its unreliable coins),
+	// capped at half the budget so the walk phase always runs.
+	nbCap := g.opts.Budget / 2
+	for k := 0; k < len(g.base.Steps) && g.produced < nbCap; k++ {
+		if c := g.base.Clone(); c.JitterStep(k, g.opts.Seed^int64(k)*2654435761) {
+			g.emit(work, c)
+		}
+		if g.produced >= nbCap {
+			break
+		}
+		if c := g.base.Clone(); c.SwapRecv(k, 0, 1) {
+			g.emit(work, c)
+		}
+		st := &g.base.Steps[k]
+		for slot := st.NR; slot < len(st.Recv) && g.produced < nbCap; slot++ {
+			if c := g.base.Clone(); c.FlipCoin(k, slot) {
+				g.emit(work, c)
+			}
+		}
+	}
+	// Crash neighborhood: drop each crash, and nudge each crash time.
+	for i := 0; i < len(g.base.Crashes) && g.produced < nbCap; i++ {
+		if c := g.base.Clone(); c.DropCrash(i) {
+			g.emit(work, c)
+		}
+		for _, at := range []int64{0, g.base.Crashes[i].At + 1, g.base.Crashes[i].At + g.base.Fack} {
+			if g.produced >= nbCap {
+				break
+			}
+			if c := g.base.Clone(); c.ShiftCrash(i, at) {
+				g.emit(work, c)
+			}
+		}
+	}
+
+	// Phase 2 — seeded random walks: chains of WalkLen perturbations, each
+	// chain restarted from the base schedule.
+	cur := g.base
+	step := 0
+	for attempts := 0; g.produced < g.opts.Budget && attempts < 16*g.opts.Budget; attempts++ {
+		if step%g.opts.WalkLen == 0 {
+			cur = g.base
+		}
+		c := cur.Clone()
+		if !perturb(g.rng, c) {
+			continue
+		}
+		if g.emit(work, c) {
+			cur = c
+			step++
+		}
+	}
+}
+
+// perturb applies one random perturbation to s, retrying a few times when
+// the drawn operation does not apply; it reports whether s was mutated.
+func perturb(rng *rand.Rand, s *sim.Schedule) bool {
+	if len(s.Steps) == 0 {
+		return false
+	}
+	for try := 0; try < 16; try++ {
+		switch rng.Intn(6) {
+		case 0, 1: // swap two delivery slots of one step
+			k := rng.Intn(len(s.Steps))
+			n := len(s.Steps[k].Recv)
+			if n < 2 {
+				continue
+			}
+			if s.SwapRecv(k, rng.Intn(n), rng.Intn(n)) {
+				return true
+			}
+		case 2, 3: // re-jitter one step's timing within Fack
+			if s.JitterStep(rng.Intn(len(s.Steps)), rng.Int63()) {
+				return true
+			}
+		case 4: // flip one unreliable-edge coin
+			k := rng.Intn(len(s.Steps))
+			st := &s.Steps[k]
+			if len(st.Recv) == st.NR {
+				continue
+			}
+			if s.FlipCoin(k, st.NR+rng.Intn(len(st.Recv)-st.NR)) {
+				return true
+			}
+		case 5: // move or drop a crash
+			if len(s.Crashes) == 0 {
+				continue
+			}
+			i := rng.Intn(len(s.Crashes))
+			if rng.Intn(4) == 0 {
+				if s.DropCrash(i) {
+					return true
+				}
+				continue
+			}
+			if s.ShiftCrash(i, rng.Int63n(4*s.Fack+1)) {
+				return true
+			}
+		}
+	}
+	return false
+}

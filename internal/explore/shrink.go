@@ -1,0 +1,322 @@
+package explore
+
+import (
+	"fmt"
+
+	"github.com/absmac/absmac/internal/harness"
+	"github.com/absmac/absmac/internal/sim"
+)
+
+// This file implements the counterexample minimizer: a deterministic
+// greedy delta-debugger that reduces a violating schedule while preserving
+// its violation kind. Reduction passes, largest-grain first:
+//
+//   - topology shrink: re-record the scenario on a smaller instance of the
+//     same family (ring:9 → ring:8 → …) and restart there when the same
+//     violation reproduces;
+//   - crash dropping: remove scheduled crashes one at a time;
+//   - overlay-delivery pruning: ddmin-style chunked removal of delivered
+//     unreliable-edge slots (flipping their coins to NoDelivery);
+//   - step truncation: cut the recorded suffix and let the replay's seeded
+//     fallback planner finish the run.
+//
+// Every candidate is evaluated by replay-with-re-recording
+// (harness.ReplayRunner.RunRecorded): the candidate mutation may derail
+// the execution mid-run, but the re-recording closes it back into a
+// complete schedule in which every broadcast is a recorded step. A
+// candidate is accepted only when its closed form still violates with the
+// same kind AND strictly lowers the cost metric, so the loop terminates
+// and the final artifact always replays byte-identically with zero
+// divergence.
+
+// cost is the minimizer's size metric: recorded steps plus delivered
+// slots, with crashes weighted heavily (dropping adversity explains more
+// than dropping traffic).
+func cost(s *sim.Schedule) int {
+	return len(s.Steps) + s.Deliveries() + 8*len(s.Crashes)
+}
+
+// ShrinkResult reports a minimization.
+type ShrinkResult struct {
+	// Artifact is the minimized counterexample: scenario (possibly on a
+	// smaller topology than the input's), closed schedule, violation.
+	Artifact *Artifact `json:"artifact"`
+	// FromSteps/FromDeliveries/FromCrashes size the input schedule;
+	// the artifact's schedule carries the minimized sizes.
+	FromSteps      int `json:"from_steps"`
+	FromDeliveries int `json:"from_deliveries"`
+	FromCrashes    int `json:"from_crashes"`
+	// Attempts counts candidate replays spent.
+	Attempts int `json:"attempts"`
+}
+
+// Reduced reports whether minimization made the schedule smaller.
+func (r *ShrinkResult) Reduced() bool {
+	s := r.Artifact.Schedule
+	return len(s.Steps) < r.FromSteps || s.Deliveries() < r.FromDeliveries || len(s.Crashes) < r.FromCrashes
+}
+
+// shrinkAttemptCap bounds the minimizer's candidate replays; the greedy
+// loop normally converges far below it.
+const shrinkAttemptCap = 4096
+
+// shrinker carries the minimization state.
+type shrinker struct {
+	sc       harness.Scenario
+	runner   *harness.ReplayRunner
+	kind     string
+	cur      *sim.Schedule
+	curCost  int
+	attempts int
+}
+
+// Shrink minimizes a violating schedule for the scenario down to a smaller
+// schedule exhibiting the same violation kind. maxEvents caps each
+// candidate replay (0 means the sweep default). It errors when the input
+// schedule does not itself reproduce a violation of kind.
+func Shrink(sc harness.Scenario, sched *sim.Schedule, kind string, maxEvents int) (*ShrinkResult, error) {
+	if maxEvents <= 0 {
+		maxEvents = harness.DefaultSweepMaxEvents
+	}
+	sc.MaxEvents = maxEvents
+	runner, err := sc.NewReplayRunner()
+	if err != nil {
+		return nil, err
+	}
+	sh := &shrinker{sc: sc, runner: runner, kind: kind}
+
+	// Close and verify the input: the minimized artifact must start from a
+	// reproducing counterexample, not a hope.
+	closed, ok, err := sh.check(sched)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("explore: schedule does not reproduce a %s violation on %s/%s, nothing to shrink", kind, sc.Algo, sc.Topo)
+	}
+	res := &ShrinkResult{FromSteps: len(sched.Steps), FromDeliveries: sched.Deliveries(), FromCrashes: len(sched.Crashes)}
+	sh.cur = closed
+	sh.curCost = cost(closed)
+
+	sh.shrinkTopology(maxEvents)
+	for sh.attempts < shrinkAttemptCap {
+		improved := sh.dropCrashes()
+		improved = sh.pruneDeliveries() || improved
+		improved = sh.truncateSteps() || improved
+		if !improved {
+			break
+		}
+	}
+
+	// Final verification replay (strictness belt-and-braces: the accepted
+	// schedule is closed, so it must replay without divergence).
+	out, rp, err := sh.runner.Run(sh.cur, nil)
+	if err != nil {
+		return nil, err
+	}
+	v := Classify(out)
+	if v == nil || v.Kind != sh.kind {
+		return nil, fmt.Errorf("explore: minimized schedule failed re-verification (got %v, want %s)", v, sh.kind)
+	}
+	if rp.Diverged() {
+		return nil, fmt.Errorf("explore: minimized schedule diverged at step %d on its verification replay", rp.DivergedAt())
+	}
+	res.Artifact = &Artifact{
+		Format:    ArtifactFormat,
+		Scenario:  sh.sc,
+		MaxEvents: maxEvents,
+		Schedule:  sh.cur,
+		Violation: v,
+	}
+	res.Attempts = sh.attempts
+	return res, nil
+}
+
+// check replays cand with re-recording and reports its closed form and
+// whether the target violation reproduces.
+func (s *shrinker) check(cand *sim.Schedule) (*sim.Schedule, bool, error) {
+	s.attempts++
+	out, _, closed, err := s.runner.RunRecorded(cand, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	v := Classify(out)
+	if v == nil || v.Kind != s.kind {
+		return nil, false, nil
+	}
+	return closed, true, nil
+}
+
+// accept installs a candidate's closed form when it reproduces the
+// violation at a strictly lower cost.
+func (s *shrinker) accept(cand *sim.Schedule) bool {
+	closed, ok, err := s.check(cand)
+	if err != nil || !ok {
+		return false
+	}
+	if c := cost(closed); c < s.curCost {
+		s.cur = closed
+		s.curCost = c
+		return true
+	}
+	return false
+}
+
+// shrinkTopology retries the whole scenario on smaller instances of
+// single-parameter topology families, re-recording from scratch (the
+// current schedule cannot transfer across node counts). It restarts the
+// minimization state on the smallest instance that still reproduces the
+// violation.
+func (s *shrinker) shrinkTopology(maxEvents int) {
+	for s.attempts < shrinkAttemptCap {
+		t, ok := smallerTopo(s.sc.Topo)
+		if !ok {
+			return
+		}
+		sc2 := s.sc
+		sc2.Topo = t
+		s.attempts++
+		out2, sched2, err := sc2.RunRecorded()
+		if err != nil {
+			return
+		}
+		v := Classify(out2)
+		if v == nil || v.Kind != s.kind {
+			return
+		}
+		runner2, err := sc2.NewReplayRunner()
+		if err != nil {
+			return
+		}
+		// sched2 is a complete recording of sc2's run, so it is already
+		// closed: adopt it directly as the new minimization state.
+		s.sc, s.runner, s.cur, s.curCost = sc2, runner2, sched2, cost(sched2)
+	}
+}
+
+// smallerTopo returns the next-smaller instance of single-size families
+// (ring, line, clique, star, random), or ok=false when the family has no
+// size knob or is at its minimum.
+func smallerTopo(t harness.Topo) (harness.Topo, bool) {
+	min := 2
+	switch t.Kind {
+	case "ring":
+		min = 3
+	case "line", "clique", "star", "random":
+	default:
+		return t, false
+	}
+	if t.N <= min {
+		return t, false
+	}
+	t.N--
+	return t, true
+}
+
+// dropCrashes tries removing each scheduled crash, highest index first.
+func (s *shrinker) dropCrashes() bool {
+	improved := false
+	for i := len(s.cur.Crashes) - 1; i >= 0 && s.attempts < shrinkAttemptCap; i-- {
+		cand := s.cur.Clone()
+		if !cand.DropCrash(i) {
+			continue
+		}
+		if s.accept(cand) {
+			improved = true
+			// cur changed shape; restart the index walk on it.
+			i = len(s.cur.Crashes)
+		}
+	}
+	return improved
+}
+
+// overlaySlot addresses one delivered unreliable slot.
+type overlaySlot struct{ step, slot int }
+
+func deliveredOverlaySlots(s *sim.Schedule) []overlaySlot {
+	var out []overlaySlot
+	for k := range s.Steps {
+		st := &s.Steps[k]
+		for slot := st.NR; slot < len(st.Recv); slot++ {
+			if st.Recv[slot] != sim.NoDelivery {
+				out = append(out, overlaySlot{k, slot})
+			}
+		}
+	}
+	return out
+}
+
+// pruneDeliveries removes delivered unreliable-edge slots ddmin-style:
+// chunks of halving size, recomputing the slot list after every accepted
+// reduction (acceptance re-closes the schedule, which can reshape it).
+func (s *shrinker) pruneDeliveries() bool {
+	improved := false
+	items := deliveredOverlaySlots(s.cur)
+	chunk := len(items)
+	for chunk >= 1 && s.attempts < shrinkAttemptCap {
+		i := 0
+		progressed := false
+		for i < len(items) && s.attempts < shrinkAttemptCap {
+			cand := s.cur.Clone()
+			applied := 0
+			for _, it := range items[i:minInt(i+chunk, len(items))] {
+				if cand.FlipCoin(it.step, it.slot) {
+					applied++
+				}
+			}
+			if applied > 0 && s.accept(cand) {
+				improved = true
+				progressed = true
+				items = deliveredOverlaySlots(s.cur)
+				// restart this granularity on the reshaped schedule
+				i = 0
+				continue
+			}
+			i += chunk
+		}
+		if !progressed {
+			chunk /= 2
+		}
+	}
+	return improved
+}
+
+// truncateSteps tries cutting the recorded suffix at halving fractions,
+// letting the fallback planner finish the run; acceptance re-closes the
+// schedule, so an accepted truncation only survives when the re-recorded
+// complete run is genuinely smaller.
+func (s *shrinker) truncateSteps() bool {
+	improved := false
+	for s.attempts < shrinkAttemptCap {
+		n := len(s.cur.Steps)
+		if n == 0 {
+			return improved
+		}
+		progressed := false
+		for _, p := range []int{n / 2, (3 * n) / 4, n - 1} {
+			if p < 0 || p >= n {
+				continue
+			}
+			cand := s.cur.Clone()
+			if !cand.Truncate(p) {
+				continue
+			}
+			if s.accept(cand) {
+				improved = true
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			return improved
+		}
+	}
+	return improved
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

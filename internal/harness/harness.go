@@ -30,6 +30,17 @@
 // per-seed state (schedulers, algorithm instances, crash schedules) is
 // always built fresh. Scenario.Run stays the uncached single-execution
 // API. See cmd/amacsim's package comment for the sweep grammar.
+//
+// Scenarios are also recordable and replayable (record.go):
+// Scenario.RunRecorded captures every nondeterministic decision of a run
+// — each broadcast's delivery plan with its unreliable-edge coin
+// outcomes, plus the crash schedule — into a sim.Schedule, and a
+// ReplayRunner re-executes schedules (recorded, perturbed or minimized)
+// against the scenario's fixed configuration on a reusable engine,
+// byte-identically for an unmodified recording. internal/explore builds
+// its schedule-space search and counterexample minimizer on these; the
+// golden test in replay_golden_test.go holds the committed stall artifact
+// under testdata/ to this contract.
 package harness
 
 import (
@@ -227,8 +238,17 @@ func (s Scenario) Config() (sim.Config, error) {
 	return cfg, err
 }
 
-// build assembles the scenario and returns the configuration plus the
-// topology diameter. With a non-nil cache the graph, its diameter, the
+// buildInfo carries the side facts build learns while assembling a
+// configuration: the topology diameter (when cached) and the unreliable
+// delivery probability of the scenario's overlay spec (which recording
+// needs for Schedule.DeliverP).
+type buildInfo struct {
+	diameter int
+	deliverP float64
+}
+
+// build assembles the scenario and returns the configuration plus build
+// side facts. With a non-nil cache the graph, its diameter, the
 // overlay dual graph and the input assignment are memoized and shared
 // (this is the sweep path); with nil everything is built fresh and the
 // diameter is NOT computed (returned as 0) — uncached callers that need
@@ -236,19 +256,19 @@ func (s Scenario) Config() (sim.Config, error) {
 // it would discard. The per-seed pieces — scheduler, algorithm factory,
 // crash schedule, lossy wrapper — are always built fresh, since they
 // carry run state.
-func (s Scenario) build(c *caches) (sim.Config, int, error) {
+func (s Scenario) build(c *caches) (sim.Config, buildInfo, error) {
 	var (
 		g    *graph.Graph
-		diam int
+		info buildInfo
 		err  error
 	)
 	if c != nil {
-		g, diam, err = c.topo(s.Topo, s.Seed)
+		g, info.diameter, err = c.topo(s.Topo, s.Seed)
 	} else {
 		g, err = s.Topo.Build(s.Seed)
 	}
 	if err != nil {
-		return sim.Config{}, 0, err
+		return sim.Config{}, info, err
 	}
 	ins := s.InputValues
 	if ins == nil {
@@ -258,42 +278,39 @@ func (s Scenario) build(c *caches) (sim.Config, int, error) {
 			ins, err = NewInputs(s.Inputs, g.N())
 		}
 		if err != nil {
-			return sim.Config{}, 0, err
+			return sim.Config{}, info, err
 		}
 	} else if len(ins) != g.N() {
-		return sim.Config{}, 0, fmt.Errorf("harness: %d input values for %d nodes", len(ins), g.N())
+		return sim.Config{}, info, fmt.Errorf("harness: %d input values for %d nodes", len(ins), g.N())
 	}
 	if err := amac.ValidateBinaryInputs(ins); err != nil {
-		return sim.Config{}, 0, err
+		return sim.Config{}, info, err
 	}
 	factory, err := NewFactory(s.Algo, g.N(), s.Seed)
 	if err != nil {
-		return sim.Config{}, 0, err
+		return sim.Config{}, info, err
 	}
 	scheduler, err := NewScheduler(s.Sched, s.Fack, s.Seed, g)
 	if err != nil {
-		return sim.Config{}, 0, err
+		return sim.Config{}, info, err
 	}
 	crashes, err := NewCrashes(s.Crashes, g.N(), s.Fack, s.Seed)
 	if err != nil {
-		return sim.Config{}, 0, err
+		return sim.Config{}, info, err
 	}
-	var (
-		unreliable *graph.Graph
-		deliverP   float64
-	)
+	var unreliable *graph.Graph
 	if c != nil {
-		unreliable, deliverP, err = c.overlay(s.Overlay, s.Topo, g, s.Seed)
+		unreliable, info.deliverP, err = c.overlay(s.Overlay, s.Topo, g, s.Seed)
 	} else {
-		unreliable, deliverP, err = NewOverlay(s.Overlay, g, s.Seed)
+		unreliable, info.deliverP, err = NewOverlay(s.Overlay, g, s.Seed)
 	}
 	if err != nil {
-		return sim.Config{}, 0, err
+		return sim.Config{}, info, err
 	}
 	if unreliable != nil {
 		// The lossy wrapper is what makes overlay edges deliver at all:
 		// base schedulers plan only the reliable neighbors.
-		scheduler = sim.NewLossy(scheduler, deliverP, lossySeed(s.Seed))
+		scheduler = sim.NewLossy(scheduler, info.deliverP, lossySeed(s.Seed))
 	}
 	// Every Validate check is already guaranteed by the construction
 	// above (and sim.Run re-validates), so the config is returned as is.
@@ -307,7 +324,7 @@ func (s Scenario) build(c *caches) (sim.Config, int, error) {
 		MaxEvents:       s.MaxEvents,
 		StopWhenDecided: true,
 		Audit:           true,
-	}, diam, nil
+	}, info, nil
 }
 
 // Run executes the scenario and checks the consensus properties. It builds
@@ -344,7 +361,7 @@ type runner struct {
 // runner's engine and is valid only until the next run call — callers must
 // extract what they need (the accumulator does) before running again.
 func (r *runner) run(s Scenario) (*Outcome, error) {
-	cfg, diam, err := s.build(r.caches)
+	cfg, info, err := s.build(r.caches)
 	if err != nil {
 		return nil, err
 	}
@@ -359,7 +376,7 @@ func (r *runner) run(s Scenario) (*Outcome, error) {
 		Result:   res,
 		Report:   consensus.Check(cfg.Inputs, res),
 		N:        cfg.Graph.N(),
-		Diameter: diam,
+		Diameter: info.diameter,
 		Fack:     cfg.Scheduler.Fack(),
 	}, nil
 }

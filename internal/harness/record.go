@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/absmac/absmac/internal/consensus"
+	"github.com/absmac/absmac/internal/sim"
+)
+
+// This file connects scenarios to the simulator's schedule record/replay
+// layer (sim/schedule.go, sim/replay.go): RunRecorded captures a
+// scenario's execution as a sim.Schedule, and ReplayRunner re-executes
+// schedules — recorded, perturbed or minimized — against the scenario's
+// fixed configuration on a reusable engine. internal/explore builds its
+// search and its counterexample minimizer on exactly these two entry
+// points; `amacsim -record` and `amacexplore -replay` are their CLI faces.
+
+// fallbackSeed decorrelates a replay's fallback planner from every other
+// consumer of the scenario seed (scheduler, overlay, lossy coins), so a
+// perturbed execution's post-divergence randomness is its own axis.
+func fallbackSeed(seed int64) int64 { return seed*48271 + 11 }
+
+// RunRecorded executes the scenario exactly as Run does while recording
+// every nondeterministic decision — each broadcast's finished delivery
+// plan (unreliable-edge coin outcomes included) and the crash schedule —
+// into a Schedule that ReplayRunner re-executes byte-identically.
+// Recording costs one plan copy per broadcast; nothing changes on the
+// delivery path, so the outcome is identical to an unrecorded run. An
+// optional observer receives the engine events (`amacsim -record -trace`
+// wires its trace recorder here).
+func (s Scenario) RunRecorded(observer ...func(sim.Event)) (*Outcome, *sim.Schedule, error) {
+	cfg, info, err := s.build(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(observer) > 0 {
+		cfg.Observer = observer[0]
+	}
+	rec := sim.RecordSchedule(cfg.Scheduler)
+	rec.S.DeliverP = info.deliverP
+	rec.S.FallbackSeed = fallbackSeed(s.Seed)
+	rec.S.Crashes = append([]sim.Crash(nil), cfg.Crashes...)
+	cfg.Scheduler = rec
+	res := sim.Run(cfg)
+	return &Outcome{
+		Scenario: s,
+		Result:   res,
+		Report:   consensus.Check(cfg.Inputs, res),
+		N:        cfg.Graph.N(),
+		Diameter: cfg.Graph.Diameter(),
+		Fack:     rec.Fack(),
+	}, rec.S, nil
+}
+
+// ReplayRunner re-executes schedules against one scenario's fixed
+// configuration — same topology, overlay, inputs and algorithm; the
+// schedule supplies the delivery plans and the crash times. The runner
+// owns a reusable engine, so replaying many schedule variants (the
+// explorer's workload) pays the engine's allocations once. A runner is
+// single-goroutine; exploration pools create one per worker, sharing the
+// immutable graph/input structures across runners.
+type ReplayRunner struct {
+	sc  Scenario
+	cfg sim.Config // template; Scheduler/Crashes/Factory are set per replay
+	eng *sim.Engine
+	n   int
+	dia int
+}
+
+// NewReplayRunner builds the scenario once and returns a runner for it.
+func (s Scenario) NewReplayRunner() (*ReplayRunner, error) {
+	cfg, _, err := s.build(nil)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplayRunner{sc: s, cfg: cfg, n: cfg.Graph.N(), dia: cfg.Graph.Diameter()}, nil
+}
+
+// Scenario returns the scenario the runner replays against.
+func (r *ReplayRunner) Scenario() Scenario { return r.sc }
+
+// N returns the node count of the runner's topology.
+func (r *ReplayRunner) N() int { return r.n }
+
+// Run replays sched against the runner's scenario and checks the
+// consensus properties. The returned Replay reports whether (and where)
+// the execution diverged from the recording: a clean recorded schedule
+// replays with Diverged()==false and reproduces the original sim.Result
+// byte for byte; a perturbed or truncated schedule diverges at its first
+// unanswered broadcast and continues on the schedule's seeded fallback
+// planner. An optional observer receives every engine event plus the
+// EventDiverge marker.
+//
+// The Outcome's Result is owned by the runner's engine and valid only
+// until the next Run call.
+func (r *ReplayRunner) Run(sched *sim.Schedule, observer func(sim.Event)) (*Outcome, *sim.Replay, error) {
+	out, rp, _, err := r.replay(sched, observer, false)
+	return out, rp, err
+}
+
+// RunRecorded replays sched while re-recording the execution it actually
+// produces, and returns that recording as a new, closed Schedule: every
+// broadcast of the run — replayed prefix and post-divergence fallback
+// alike — appears as a recorded step, so the returned schedule replays
+// byte-identically with no divergence. The shrinker uses this to turn a
+// perturbed or truncated schedule back into a complete, self-contained
+// counterexample artifact after every accepted reduction.
+func (r *ReplayRunner) RunRecorded(sched *sim.Schedule, observer func(sim.Event)) (*Outcome, *sim.Replay, *sim.Schedule, error) {
+	return r.replay(sched, observer, true)
+}
+
+func (r *ReplayRunner) replay(sched *sim.Schedule, observer func(sim.Event), record bool) (*Outcome, *sim.Replay, *sim.Schedule, error) {
+	if err := sched.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	factory, err := NewFactory(r.sc.Algo, r.n, r.sc.Seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rp := sim.NewReplay(sched)
+	rp.Observer = observer
+	cfg := r.cfg
+	cfg.Factory = factory
+	cfg.Scheduler = rp
+	cfg.Crashes = sched.Crashes
+	cfg.Observer = observer
+	var rec *sim.ScheduleRecorder
+	if record {
+		rec = sim.RecordSchedule(rp)
+		rec.S.DeliverP = sched.DeliverP
+		rec.S.FallbackSeed = sched.FallbackSeed
+		rec.S.Crashes = append([]sim.Crash(nil), sched.Crashes...)
+		cfg.Scheduler = rec
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, nil, fmt.Errorf("harness: schedule does not fit scenario %s on %s: %w", r.sc.Algo, r.sc.Topo, err)
+	}
+	if r.eng == nil {
+		r.eng = sim.NewEngine(cfg)
+	} else {
+		r.eng.Reset(cfg)
+	}
+	res := r.eng.Run()
+	out := &Outcome{
+		Scenario: r.sc,
+		Result:   res,
+		Report:   consensus.Check(cfg.Inputs, res),
+		N:        r.n,
+		Diameter: r.dia,
+		Fack:     rp.Fack(),
+	}
+	if rec != nil {
+		return out, rp, rec.S, nil
+	}
+	return out, rp, nil, nil
+}

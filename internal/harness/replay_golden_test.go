@@ -1,0 +1,93 @@
+package harness_test
+
+// This file is in the external test package: it exercises the committed
+// counterexample artifact through internal/explore, which itself builds on
+// harness — an in-package test would be an import cycle.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/absmac/absmac/internal/explore"
+)
+
+// stallArtifact is the minimized wPAXOS liveness counterexample produced
+// by `amacexplore -minimize` from the pinned stall cell (ring:9,
+// midbroadcast, chords, seed 4; minimized onto ring:8). See
+// known_issue_test.go for the live reproducer and ROADMAP.md for the
+// root-cause analysis.
+const stallArtifact = "testdata/stall_wpaxos_midbroadcast_chords.json"
+
+// TestStallArtifactReplaysByteIdentically is the golden replay test: the
+// committed artifact must replay with zero divergence, reproduce exactly
+// the violation it records (kind, quiescence, event count), and do so
+// deterministically — two replays yield byte-identical results. If this
+// test starts failing after an engine or scheduler change, the execution
+// semantics changed in a way that breaks recorded schedules; that is a
+// compatibility break, not a flake.
+func TestStallArtifactReplaysByteIdentically(t *testing.T) {
+	a, err := explore.ReadFile(stallArtifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Violation == nil || a.Violation.Kind != explore.KindNonTermination {
+		t.Fatalf("artifact records %+v, want a non-termination violation", a.Violation)
+	}
+
+	replay := func() (string, *explore.Violation) {
+		out, rp, err := a.Replay(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rp.Diverged() {
+			t.Fatalf("committed artifact diverged at step %d: the engine no longer "+
+				"reproduces recorded schedules byte-identically", rp.DivergedAt())
+		}
+		b, err := json.Marshal(out.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Safety must hold in the replay exactly as it did live: the
+		// stall is silence, not disagreement.
+		if !out.Report.Agreement || !out.Report.Validity {
+			t.Fatalf("replayed stall broke safety: %v", out.Report.Errors)
+		}
+		return string(b), explore.Classify(out)
+	}
+
+	r1, v1 := replay()
+	if v1 == nil || v1.Kind != a.Violation.Kind {
+		t.Fatalf("replay classified as %+v, artifact records %s", v1, a.Violation.Kind)
+	}
+	if v1.Events != a.Violation.Events || v1.Quiescent != a.Violation.Quiescent {
+		t.Fatalf("replay shape (events=%d quiescent=%v) differs from recorded (events=%d quiescent=%v)",
+			v1.Events, v1.Quiescent, a.Violation.Events, a.Violation.Quiescent)
+	}
+	r2, _ := replay()
+	if r1 != r2 {
+		t.Fatal("two replays of the committed artifact differ")
+	}
+}
+
+// TestStallArtifactIsMinimal pins the minimizer's value: the committed
+// artifact must be strictly smaller than a fresh recording of the original
+// stall cell it came from.
+func TestStallArtifactIsMinimal(t *testing.T) {
+	a, err := explore.ReadFile(stallArtifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := a.Scenario
+	orig.Topo.N = 9 // the cell the explorer was pointed at
+	orig.MaxEvents = a.MaxEvents
+	_, sched, err := orig.RunRecorded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, from := len(a.Schedule.Steps), len(sched.Steps); got >= from {
+		t.Fatalf("artifact has %d steps, original stall %d — not minimized", got, from)
+	}
+	if got, from := a.Schedule.Deliveries(), sched.Deliveries(); got >= from {
+		t.Fatalf("artifact has %d deliveries, original stall %d — not minimized", got, from)
+	}
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Replay is a Scheduler that re-executes a recorded Schedule. As long as
+// the execution asks for exactly the broadcasts the recording answered —
+// same sender, sequence number, issue time and recipient shape — Replay
+// hands back the recorded plans verbatim, which reproduces the original
+// execution byte for byte (record→replay identity is pinned by
+// harness tests).
+//
+// When the execution diverges from the recording — because a perturbation
+// changed an earlier decision, a crash was moved, or the schedule was
+// truncated — Replay switches permanently to a seeded fallback planner
+// (uniform delivery times within Fack, unreliable-edge coins at
+// Schedule.DeliverP, mirroring Random+Lossy) so the perturbed execution
+// continues deterministically inside the model instead of dying on a stale
+// absolute time. The first divergence is observable: DivergedAt reports
+// the step index, and an optional Observer receives an EventDiverge.
+//
+// Replay carries run state (a cursor and the fallback rng): build a fresh
+// one per execution with NewReplay.
+type Replay struct {
+	s *Schedule
+	// Strict turns the first divergence into a panic instead of a
+	// fallback — for pinned artifacts that must replay exactly.
+	Strict bool
+	// Observer, when non-nil, receives an EventDiverge at the first
+	// divergence (wire it to the same trace recorder as Config.Observer to
+	// see divergences inline with engine events).
+	Observer func(Event)
+
+	cursor     int
+	diverged   bool
+	divergedAt int
+	rng        *rand.Rand
+}
+
+// NewReplay returns a replay scheduler for s. It panics on a structurally
+// invalid schedule (see Schedule.Validate — callers assembling schedules
+// from external files should Validate first and surface the error).
+func NewReplay(s *Schedule) *Replay {
+	if err := s.Validate(); err != nil {
+		panic(err.Error())
+	}
+	return &Replay{s: s, divergedAt: -1}
+}
+
+// Fack implements Scheduler: replay re-declares the recorded bound.
+func (r *Replay) Fack() int64 { return r.s.Fack }
+
+// DivergedAt reports the step index at which the execution first left the
+// recording (len(Steps) when it ran past the recorded horizon), or -1 for
+// a byte-identical replay so far.
+func (r *Replay) DivergedAt() int { return r.divergedAt }
+
+// Diverged reports whether the execution left the recording.
+func (r *Replay) Diverged() bool { return r.diverged }
+
+// Plan implements Scheduler.
+func (r *Replay) Plan(b Broadcast, p *Plan) {
+	if !r.diverged {
+		if r.cursor < len(r.s.Steps) {
+			st := &r.s.Steps[r.cursor]
+			if r.matches(st, b, p) {
+				copy(p.Recv, st.Recv)
+				p.Ack = st.Ack
+				r.cursor++
+				return
+			}
+		}
+		r.diverge(b)
+	}
+	r.fallback(b, p)
+}
+
+// matches reports whether the recorded step answers broadcast b: identity
+// (sender, seq, issue time, recipient shape) plus timing validity relative
+// to the step's own Now — a perturbed step whose times fell outside the
+// model contract must not reach the engine's validator.
+func (r *Replay) matches(st *ScheduleStep, b Broadcast, p *Plan) bool {
+	if st.Sender != b.Sender || st.Seq != b.Seq || st.Now != b.Now {
+		return false
+	}
+	if st.NR != len(b.Neighbors) || len(st.Recv) != len(p.Recv) {
+		return false
+	}
+	if st.Ack > st.Now+r.s.Fack {
+		return false
+	}
+	for i, t := range st.Recv {
+		if t == NoDelivery {
+			if i < st.NR {
+				return false
+			}
+			continue
+		}
+		if t <= st.Now || t > st.Ack {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Replay) diverge(b Broadcast) {
+	if r.Strict {
+		panic(fmt.Sprintf("sim: strict replay diverged at step %d: broadcast (sender=%d seq=%d now=%d) not answered by the recording",
+			r.cursor, b.Sender, b.Seq, b.Now))
+	}
+	r.diverged = true
+	r.divergedAt = r.cursor
+	if r.Observer != nil {
+		r.Observer(Event{Kind: EventDiverge, Time: b.Now, Node: b.Sender})
+	}
+}
+
+// fallback plans one broadcast the recording no longer covers: uniform
+// delivery times in (Now, Now+Fack], an ack between the latest delivery
+// and the deadline, and DeliverP coins for unreliable slots — the
+// Random+Lossy behaviour, seeded by the schedule so perturbed executions
+// stay deterministic.
+func (r *Replay) fallback(b Broadcast, p *Plan) {
+	if r.rng == nil {
+		r.rng = rand.New(rand.NewSource(r.s.FallbackSeed))
+	}
+	f := r.s.Fack
+	latest := b.Now + 1
+	for i := range b.Neighbors {
+		t := b.Now + 1 + r.rng.Int63n(f)
+		p.Recv[i] = t
+		if t > latest {
+			latest = t
+		}
+	}
+	ack := latest
+	if room := b.Now + f - latest; room > 0 {
+		ack += r.rng.Int63n(room + 1)
+	}
+	p.Ack = ack
+	nr := len(b.Neighbors)
+	for i := range b.Unreliable {
+		if r.rng.Float64() >= r.s.DeliverP {
+			continue
+		}
+		span := ack - b.Now
+		if span < 1 {
+			span = 1
+		}
+		t := b.Now + 1 + r.rng.Int63n(span)
+		if t > ack {
+			t = ack
+		}
+		p.Recv[nr+i] = t
+	}
+}
+
+var _ Scheduler = (*Replay)(nil)

@@ -91,10 +91,11 @@ type Scheduler interface {
 
 // Crash schedules a crash failure: node Node halts at time At. Deliveries
 // to and from the node planned after At never happen, and any in-flight
-// broadcast loses its ack.
+// broadcast loses its ack. Crashes serialize inside Schedule artifacts,
+// hence the JSON tags.
 type Crash struct {
-	Node int
-	At   int64
+	Node int   `json:"node"`
+	At   int64 `json:"at"`
 }
 
 // Config describes one execution.
@@ -208,6 +209,12 @@ const (
 	EventDecide
 	EventCrash
 	EventDiscard // broadcast attempted while one was in flight
+	EventDiverge // a replayed execution left its recorded schedule
+
+	// numEventKinds is the sentinel bounding the enum: new kinds go above
+	// it, and EventKinds derives its slice from it, so the list of kinds
+	// cannot drift from the const block.
+	numEventKinds
 )
 
 func (k EventKind) String() string {
@@ -224,9 +231,24 @@ func (k EventKind) String() string {
 		return "crash"
 	case EventDiscard:
 		return "discard"
+	case EventDiverge:
+		return "diverge"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
+}
+
+// EventKinds returns every event kind, in declaration order. Consumers
+// that iterate kinds (trace summaries, filters) should range over this
+// slice rather than hard-code the first/last kind, so a newly added kind
+// cannot be silently skipped. The slice is derived from the const block's
+// sentinel, not hand-maintained.
+func EventKinds() []EventKind {
+	ks := make([]EventKind, 0, numEventKinds-1)
+	for k := EventBroadcast; k < numEventKinds; k++ {
+		ks = append(ks, k)
+	}
+	return ks
 }
 
 // Event is one observable occurrence in an execution.

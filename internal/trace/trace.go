@@ -1,11 +1,15 @@
 // Package trace records simulator events for post-mortem inspection: a
-// bounded ring buffer with kind filtering, plain-text rendering, and
-// per-kind summaries. It plugs into sim.Config.Observer.
+// bounded ring buffer with kind filtering, plain-text rendering, JSON
+// Lines dumping (the machine-readable format shared by `amacsim -trace`
+// and `amacexplore -replay -trace`), and per-kind summaries. It plugs
+// into sim.Config.Observer.
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"github.com/absmac/absmac/internal/sim"
@@ -47,6 +51,12 @@ func New(capacity int, kinds ...sim.EventKind) *Recorder {
 
 // DefaultCapacity bounds retained events when New is called with 0.
 const DefaultCapacity = 4096
+
+// Unbounded is a capacity for recorders that must retain every event of a
+// run (full-trace dumps like `amacsim -trace`): memory grows with the
+// execution, which is the point. The ring buffer allocates lazily, so an
+// Unbounded recorder costs only what the run actually emits.
+const Unbounded = math.MaxInt
 
 // Observer returns the callback to install as sim.Config.Observer.
 func (r *Recorder) Observer() func(sim.Event) { return r.record }
@@ -108,13 +118,61 @@ func (r *Recorder) Dump(w io.Writer) error {
 	return nil
 }
 
-// Summary renders the per-kind counts in kind order.
+// Summary renders the per-kind counts in kind order. It iterates
+// sim.EventKinds, so kinds added to the simulator (replay divergence,
+// say) appear here without this package changing.
 func (r *Recorder) Summary() string {
 	var b strings.Builder
-	for k := sim.EventBroadcast; k <= sim.EventDiscard; k++ {
+	for _, k := range sim.EventKinds() {
 		if c := r.counts[k]; c > 0 {
 			fmt.Fprintf(&b, "%s=%d ", k, c)
 		}
 	}
 	return strings.TrimSpace(b.String())
+}
+
+// JSONLEvent is the machine-readable rendering of one event: the schema of
+// DumpJSONL lines, shared by `amacsim -trace` and `amacexplore`'s replay
+// traces. Message contents are never serialized — pooling algorithms may
+// have recycled the buffer by dump time (see Events) — only the dynamic
+// type name.
+type JSONLEvent struct {
+	Time int64  `json:"t"`
+	Kind string `json:"kind"`
+	Node int    `json:"node"`
+	// Peer and Value are pointers so that the valid zero values (node 0
+	// as a delivery's sender, a decide of value 0) survive omitempty:
+	// present exactly when the kind carries them.
+	Peer  *int   `json:"peer,omitempty"`
+	Value *int   `json:"value,omitempty"`
+	Msg   string `json:"msg,omitempty"`
+}
+
+// ToJSONL converts an event to its JSONL form.
+func ToJSONL(ev sim.Event) JSONLEvent {
+	je := JSONLEvent{Time: ev.Time, Kind: ev.Kind.String(), Node: ev.Node}
+	switch ev.Kind {
+	case sim.EventDeliver:
+		peer := ev.Peer
+		je.Peer = &peer
+	case sim.EventDecide:
+		v := int(ev.Value)
+		je.Value = &v
+	}
+	if ev.Message != nil && ev.Kind != sim.EventDecide && ev.Kind != sim.EventCrash {
+		je.Msg = fmt.Sprintf("%T", ev.Message)
+	}
+	return je
+}
+
+// DumpJSONL writes the retained events to w as JSON Lines, one JSONLEvent
+// object per line — the machine-readable counterpart of Dump.
+func (r *Recorder) DumpJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range r.Events() {
+		if err := enc.Encode(ToJSONL(ev)); err != nil {
+			return fmt.Errorf("trace: dump jsonl: %w", err)
+		}
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -98,6 +99,60 @@ func TestSummary(t *testing.T) {
 	for _, want := range []string{"broadcast=", "deliver=", "ack=", "decide=3"} {
 		if !strings.Contains(s, want) {
 			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestDumpJSONL(t *testing.T) {
+	r := New(100)
+	runWith(r)
+	var b strings.Builder
+	if err := r.DumpJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != r.Total() {
+		t.Fatalf("dumped %d lines for %d events", len(lines), r.Total())
+	}
+	decides, delivers := 0, 0
+	for _, line := range lines {
+		var ev JSONLEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		switch ev.Kind {
+		case "decide":
+			// The decide value must be present even when it is 0.
+			if ev.Value == nil {
+				t.Fatalf("decide line %q lost its value", line)
+			}
+			decides++
+		case "deliver":
+			// Likewise the sender, even when it is node 0.
+			if ev.Peer == nil {
+				t.Fatalf("deliver line %q lost its peer", line)
+			}
+			delivers++
+		}
+	}
+	if decides != 3 || delivers == 0 {
+		t.Fatalf("jsonl saw %d decides, %d delivers", decides, delivers)
+	}
+}
+
+// TestSummaryCoversAllKinds feeds the recorder one synthetic event of
+// every registered kind: each must appear in the summary, so a kind added
+// to the simulator cannot be silently skipped (the old implementation
+// iterated a hard-coded first..last range).
+func TestSummaryCoversAllKinds(t *testing.T) {
+	r := New(100)
+	for _, k := range sim.EventKinds() {
+		r.record(sim.Event{Kind: k, Time: 1, Node: 0})
+	}
+	s := r.Summary()
+	for _, k := range sim.EventKinds() {
+		if !strings.Contains(s, k.String()+"=1") {
+			t.Fatalf("summary %q misses kind %s", s, k)
 		}
 	}
 }
