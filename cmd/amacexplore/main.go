@@ -27,6 +27,26 @@
 //	amacexplore -algo wpaxos -topo ring:9 -sched random -fack 4 -seed 4 \
 //	            -crash midbroadcast -overlay chords -minimize -out stall.json
 //
+// With -grid the tool hunts a whole sweep grid instead of one scenario:
+// the axes are exactly amacsim's sweep grammar (-algos, -topos, -scheds,
+// -facks, -crashes, -overlays, -seeds — see cmd/amacsim; the two CLIs
+// share the harness.AxisFlags helper), the grid sweeps with
+// schedule-coverage fingerprints on, and every run that violates a
+// consensus property streams out of the sweep and into the explorer: up
+// to -percell flagged runs per cell are re-recorded, optionally
+// perturbation-searched (-budget > 0), optionally minimized (-minimize,
+// parallel shrink), and written as artifacts into -artifacts DIR. The
+// report (a JSON object with -json: cells, per-cell coverage, flagged
+// counts, findings with artifact paths) says which delivery orderings
+// each cell actually exercised (distinct schedule fingerprints) and
+// -saturate K stops a cell early after K consecutive seeds add no new
+// ordering. Campaigns are deterministic at any -workers width.
+//
+//	amacexplore -grid -algos wpaxos,floodpaxos -topos ring:9,grid:3x3 \
+//	            -scheds random -facks 4 -crashes midbroadcast,one@3 \
+//	            -overlays chords,extra:4@0.6 -seeds 8 -maxevents 200000 \
+//	            -budget 0 -minimize -artifacts out/
+//
 // With -replay FILE the tool instead re-verifies a committed artifact:
 // the schedule replays against its recorded scenario and the outcome is
 // checked against the artifact's recorded violation (reproducing a
@@ -52,10 +72,10 @@
 // neighbor of sender, later slots are unreliable neighbors, -1 means not
 // delivered) and all times are absolute virtual times.
 //
-// Exit status: explore mode exits 1 when any violation was found (0 on a
-// clean sweep); replay mode exits 1 when the artifact's outcome does not
-// match its recorded violation (0 when it reproduces); usage and I/O
-// errors exit 2.
+// Exit status: explore and grid modes exit 1 when any violation was found
+// (0 on a clean sweep); replay mode exits 1 when the artifact's outcome
+// does not match its recorded violation (0 when it reproduces); usage and
+// I/O errors exit 2.
 package main
 
 import (
@@ -82,14 +102,22 @@ func main() {
 	crash := flag.String("crash", "none", "crash pattern name[@T]: "+strings.Join(harness.CrashPatterns(), " | "))
 	overlay := flag.String("overlay", "none", "unreliable overlay family[:param][@Q]: "+strings.Join(harness.Overlays(), " | "))
 
-	// Exploration flags.
-	budget := flag.Int("budget", 256, "perturbed schedules to replay")
+	// Exploration flags (shared by -grid where noted).
+	budget := flag.Int("budget", 256, "perturbed schedules to replay (with -grid: per flagged run; 0 skips the search)")
 	searchSeed := flag.Int64("searchseed", 1, "seed for candidate generation (independent of the scenario seed)")
-	workers := flag.Int("workers", 0, "replay worker-pool width (0 = GOMAXPROCS)")
 	maxEvents := flag.Int("maxevents", 0, "per-execution event cap; capped undecided runs classify as non-termination (0 = sweep default)")
-	minimize := flag.Bool("minimize", false, "delta-debug the first violation down to a minimal failing schedule")
+	minimize := flag.Bool("minimize", false, "delta-debug each violation down to a minimal failing schedule")
 	out := flag.String("out", "", "write the found (minimized with -minimize) counterexample artifact to this file")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+
+	// Campaign (grid) mode: the sweep-axis grammar is shared with
+	// amacsim -sweep (harness.RegisterAxisFlags; includes -workers, which
+	// also sizes explore mode's pool).
+	gridMode := flag.Bool("grid", false, "campaign mode: sweep a whole grid and hunt every flagged cell")
+	axes := harness.RegisterAxisFlags(flag.CommandLine, "grid")
+	artifactDir := flag.String("artifacts", "", "grid: write one counterexample artifact per finding into this directory")
+	perCell := flag.Int("percell", 1, "grid: flagged runs to explore per cell")
+	saturate := flag.Int("saturate", 0, "grid: stop a cell after this many consecutive seeds add no new schedule fingerprint (0 = run all seeds)")
 
 	// Replay mode.
 	replay := flag.String("replay", "", "re-verify a committed artifact file instead of exploring")
@@ -97,17 +125,20 @@ func main() {
 
 	flag.Parse()
 
+	// Per-mode stray-flag guards (shared helper with amacsim): flags have
+	// no effect outside their mode; fail loudly rather than let the user
+	// attribute results to a flag that was silently dropped.
+	scenarioOnly := harness.NameSet([]string{"algo", "topo", "sched", "fack", "seed", "crash", "overlay"})
+	// The mode flag itself is not "grid-only": -grid=false must select
+	// explore mode, not trip its own stray-flag guard (flag.Visit sees
+	// every explicitly-set flag, defaults included).
+	gridOnly := harness.NameSet(axes.Names(), []string{"artifacts", "percell", "saturate"})
+	delete(gridOnly, "workers") // -workers sizes every mode's pool
+
 	if *replay != "" {
-		// The artifact fixes the scenario and the schedule; fail loudly on
-		// flags that would otherwise be silently ignored (same convention
-		// as amacsim's per-mode flag guard).
+		// The artifact fixes the scenario and the schedule.
 		replayOnly := map[string]bool{"replay": true, "trace": true, "json": true}
-		var stray []string
-		flag.Visit(func(f *flag.Flag) {
-			if !replayOnly[f.Name] {
-				stray = append(stray, "-"+f.Name)
-			}
-		})
+		stray := harness.StrayFlags(flag.CommandLine, func(name string) bool { return !replayOnly[name] })
 		if len(stray) > 0 {
 			os.Exit(fail(fmt.Errorf("%s not allowed with -replay: the artifact carries the scenario, schedule and event cap", strings.Join(stray, ", "))))
 		}
@@ -116,13 +147,32 @@ func main() {
 	if *traceFile != "" {
 		os.Exit(fail(fmt.Errorf("-trace only applies with -replay")))
 	}
+	if *gridMode {
+		stray := harness.StrayFlags(flag.CommandLine, func(name string) bool { return scenarioOnly[name] || name == "out" })
+		if len(stray) > 0 {
+			os.Exit(fail(fmt.Errorf("%s not allowed with -grid; use the sweep axes -algos/-topos/-scheds/-facks/-crashes/-overlays/-seeds (and -artifacts for output)", strings.Join(stray, ", "))))
+		}
+		grid, err := axes.Grid(*inputs)
+		if err != nil {
+			os.Exit(fail(err))
+		}
+		os.Exit(runGrid(grid, explore.CampaignOptions{
+			Workers: *axes.Workers, Budget: *budget, SearchSeed: *searchSeed,
+			MaxEvents: *maxEvents, Minimize: *minimize, PerCell: *perCell,
+			SaturateAfter: *saturate, ArtifactDir: *artifactDir,
+		}, *jsonOut))
+	}
+	stray := harness.StrayFlags(flag.CommandLine, func(name string) bool { return gridOnly[name] })
+	if len(stray) > 0 {
+		os.Exit(fail(fmt.Errorf("%s only apply with -grid", strings.Join(stray, ", "))))
+	}
 	t, err := harness.ParseTopo(*topo)
 	if err != nil {
 		os.Exit(fail(err))
 	}
 	sc := harness.Scenario{Algo: *algo, Topo: t, Inputs: *inputs, Sched: *sched, Fack: *fack, Seed: *seed, Crashes: *crash, Overlay: *overlay}
 	os.Exit(runExplore(sc, explore.Options{
-		Budget: *budget, Workers: *workers, Seed: *searchSeed, MaxEvents: *maxEvents,
+		Budget: *budget, Workers: *axes.Workers, Seed: *searchSeed, MaxEvents: *maxEvents,
 	}, *minimize, *out, *jsonOut))
 }
 
@@ -182,7 +232,8 @@ func runExplore(sc harness.Scenario, opts explore.Options, minimize bool, out st
 		Note: fmt.Sprintf("amacexplore budget=%d searchseed=%d", opts.Budget, opts.Seed),
 	}
 	if minimize && violation != nil {
-		res, err := explore.Shrink(rep.Scenario, schedule, kind, rep.Scenario.MaxEvents)
+		res, err := explore.Shrink(rep.Scenario, schedule, kind,
+			explore.ShrinkOptions{MaxEvents: rep.Scenario.MaxEvents, Workers: opts.Workers})
 		if err != nil {
 			return fail(err)
 		}
@@ -246,6 +297,63 @@ func printReport(rep *explore.Report, shrink *explore.ShrinkResult, out string, 
 		fmt.Printf("verdict     %s violation; artifact written to %s\n", violation.Kind, out)
 	default:
 		fmt.Printf("verdict     %s violation (pass -out FILE to keep the artifact)\n", violation.Kind)
+	}
+}
+
+func runGrid(grid harness.Grid, opts explore.CampaignOptions, jsonOut bool) int {
+	if opts.ArtifactDir != "" {
+		if err := os.MkdirAll(opts.ArtifactDir, 0o755); err != nil {
+			return fail(err)
+		}
+	}
+	rep, err := explore.Campaign(grid, opts)
+	if err != nil {
+		return fail(err)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return fail(err)
+		}
+	} else {
+		printCampaign(rep)
+	}
+	if rep.Flagged > 0 {
+		fmt.Fprintf(os.Stderr, "amacexplore: %d flagged run(s) in %d cell(s)\n", rep.Flagged, rep.CellsFlagged)
+		return 1
+	}
+	return 0
+}
+
+func printCampaign(rep *explore.CampaignReport) {
+	distinct, saturated := 0, 0
+	for _, c := range rep.Coverage {
+		distinct += c.Distinct
+		if c.Saturated {
+			saturated++
+		}
+	}
+	fmt.Printf("campaign    %d cells, %d runs, %d distinct schedules (%d cell(s) saturated early)\n",
+		len(rep.Cells), rep.Runs, distinct, saturated)
+	fmt.Printf("flagged     %d run(s) in %d cell(s)\n", rep.Flagged, rep.CellsFlagged)
+	for _, f := range rep.Findings {
+		c := &rep.Cells[f.Cell]
+		fmt.Printf("  finding   cell %d (%s on %s under %s, crashes=%s, overlay=%s, seed=%d): %s, %d steps, %d deliveries",
+			f.Cell, c.Algo, c.Topo, c.Sched, c.Crashes, c.Overlay, f.Scenario.Seed,
+			f.Violation.Kind, f.Steps, f.Deliveries)
+		if f.Minimized {
+			fmt.Printf(" (minimized, %d attempts)", f.ShrinkAttempts)
+		}
+		fmt.Println()
+		if f.ArtifactPath != "" {
+			fmt.Printf("            artifact %s\n", f.ArtifactPath)
+		}
+	}
+	if rep.Flagged == 0 {
+		fmt.Println("verdict     no violation found")
+	} else {
+		fmt.Printf("verdict     %d counterexample(s) recorded\n", len(rep.Findings))
 	}
 }
 

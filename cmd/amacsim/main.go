@@ -94,7 +94,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"github.com/absmac/absmac/internal/consensus"
@@ -119,28 +118,22 @@ func main() {
 	traceFile := flag.String("trace", "", "dump the full event trace to this file as JSON Lines (single-cell mode only)")
 	recordFile := flag.String("record", "", "record the execution's schedule to this counterexample artifact file (single-cell mode only; replay with amacexplore -replay)")
 
-	// Sweep flags.
+	// Sweep flags: the axis grammar is shared with amacexplore -grid
+	// (harness.RegisterAxisFlags), so both CLIs accept identical sweeps.
 	sweep := flag.Bool("sweep", false, "run a scenario sweep instead of a single execution")
-	algos := flag.String("algos", "wpaxos", "sweep: comma-separated algorithms")
-	topos := flag.String("topos", "clique:8,grid:3x3", "sweep: comma-separated topology specs")
-	scheds := flag.String("scheds", "sync,random", "sweep: comma-separated schedulers")
-	facks := flag.String("facks", "4", "sweep: comma-separated Fack values")
-	crashes := flag.String("crashes", "none", "sweep: comma-separated crash patterns")
-	overlays := flag.String("overlays", "none", "sweep: comma-separated overlay families")
-	seeds := flag.Int("seeds", 8, "sweep: seeds 1..k per cell")
-	workers := flag.Int("workers", 0, "sweep: worker pool width (0 = GOMAXPROCS)")
+	axes := harness.RegisterAxisFlags(flag.CommandLine, "sweep")
 	jsonOut := flag.Bool("json", false, "sweep: emit JSON instead of a text table")
 	flag.Parse()
 
 	// Flags have no effect outside their mode; fail loudly rather than
 	// let the user attribute results to a flag that was dropped.
-	singleOnly := map[string]bool{"algo": true, "topo": true, "sched": true, "fack": true, "seed": true, "crash": true, "overlay": true, "v": true, "trace": true, "record": true}
-	sweepOnly := map[string]bool{"algos": true, "topos": true, "scheds": true, "facks": true, "crashes": true, "overlays": true, "seeds": true, "workers": true, "json": true}
-	var stray []string
-	flag.Visit(func(f *flag.Flag) {
-		if (*sweep && singleOnly[f.Name]) || (!*sweep && sweepOnly[f.Name]) {
-			stray = append(stray, "-"+f.Name)
+	singleOnly := harness.NameSet([]string{"algo", "topo", "sched", "fack", "seed", "crash", "overlay", "v", "trace", "record"})
+	sweepOnly := harness.NameSet(axes.Names(), []string{"json"})
+	stray := harness.StrayFlags(flag.CommandLine, func(name string) bool {
+		if *sweep {
+			return singleOnly[name]
 		}
+		return sweepOnly[name]
 	})
 	if len(stray) > 0 {
 		if *sweep {
@@ -149,7 +142,11 @@ func main() {
 		os.Exit(fail(fmt.Errorf("%s only apply with -sweep", strings.Join(stray, ", "))))
 	}
 	if *sweep {
-		os.Exit(runSweep(*algos, *topos, *scheds, *facks, *inputs, *crashes, *overlays, *seeds, *workers, *jsonOut))
+		grid, err := axes.Grid(*inputs)
+		if err != nil {
+			os.Exit(fail(err))
+		}
+		os.Exit(runSweep(grid, *axes.Workers, *jsonOut))
 	}
 	os.Exit(runSingle(*algo, *topo, *sched, *inputs, *crash, *overlay, *traceFile, *recordFile, *fack, *seed, *verbose))
 }
@@ -271,32 +268,7 @@ func runSingle(algo, topo, sched, inputs, crash, overlay, traceFile, recordFile 
 	return 0
 }
 
-func runSweep(algos, topos, scheds, facks, inputs, crashes, overlays string, seeds, workers int, jsonOut bool) int {
-	grid := harness.Grid{
-		Algos:    splitList(algos),
-		Scheds:   splitList(scheds),
-		Inputs:   splitList(inputs),
-		Crashes:  splitList(crashes),
-		Overlays: splitList(overlays),
-	}
-	for _, s := range splitList(topos) {
-		t, err := harness.ParseTopo(s)
-		if err != nil {
-			return fail(err)
-		}
-		grid.Topos = append(grid.Topos, t)
-	}
-	for _, s := range splitList(facks) {
-		f, err := strconv.ParseInt(s, 10, 64)
-		if err != nil {
-			return fail(fmt.Errorf("bad -facks entry %q: %w", s, err))
-		}
-		grid.Facks = append(grid.Facks, f)
-	}
-	for s := int64(1); s <= int64(seeds); s++ {
-		grid.Seeds = append(grid.Seeds, s)
-	}
-
+func runSweep(grid harness.Grid, workers int, jsonOut bool) int {
 	// Expand to cell work-units and sweep them directly: one worker runs
 	// all seeds of a cell on one reusable engine, and workers share the
 	// sweep's topology/diameter/overlay caches.
@@ -320,14 +292,4 @@ func runSweep(algos, topos, scheds, facks, inputs, crashes, overlays string, see
 		return 1
 	}
 	return 0
-}
-
-func splitList(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if p := strings.TrimSpace(part); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
 }

@@ -50,7 +50,21 @@
 // finds into minimal replayable counterexample artifacts. cmd/amacexplore
 // is the CLI (-budget, -minimize, -replay); `amacsim -record` captures
 // any single run as an artifact and `amacsim -trace` dumps machine-
-// readable JSONL event traces. The minimized wPAXOS liveness stall under
-// internal/harness/testdata/ is the first artifact found this way (see
-// ROADMAP.md for its root-cause analysis).
+// readable JSONL event traces.
+//
+// The campaign layer composes the two pipelines: sweeps stream every
+// violating (scenario, seed) to a consumer as cell workers classify it
+// (harness.SweepOptions/FlaggedRun, with the violation verdict hoisted
+// into internal/consensus so both sides share it), and
+// internal/explore.Campaign drives a whole grid — sweep with
+// schedule-coverage fingerprints (sim.Fingerprinter, reporting how many
+// distinct delivery orderings each cell exercised and stopping saturated
+// cells early), then record, perturb and parallel-shrink every flagged
+// cell on one shared worker pool into minimized artifacts, all
+// byte-reproducible at any worker count. `amacexplore -grid` runs
+// campaigns from the same sweep-axis grammar as `amacsim -sweep` (the
+// shared harness.AxisFlags helper) and emits a JSON campaign report. The
+// minimized wPAXOS liveness stall and the campaign-found floodpaxos
+// leader-death stall under internal/harness/testdata/ are the first
+// artifacts found this way (see ROADMAP.md for both root-cause analyses).
 package absmac

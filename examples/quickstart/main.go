@@ -18,6 +18,7 @@ import (
 	"log"
 
 	"github.com/absmac/absmac/internal/amac"
+	"github.com/absmac/absmac/internal/explore"
 	"github.com/absmac/absmac/internal/harness"
 )
 
@@ -112,4 +113,37 @@ func main() {
 	}
 	fmt.Printf("\nrecorded %d broadcast decisions (decide time %d); perturbed replay (diverged=%v) still correct: %v (decide time %d)\n",
 		len(schedule.Steps), recorded.Result.MaxDecideTime, rp.Diverged(), replayed.Report.OK(), replayed.Result.MaxDecideTime)
+
+	// Act 4 — sweep → campaign → minimized artifact. A campaign composes
+	// the two pipelines above: sweep a whole grid with schedule-coverage
+	// fingerprints on, stream every violating (scenario, seed) out of the
+	// cell workers, and delta-debug one flagged run per cell into a
+	// minimal replayable counterexample. This grid pairs the repository's
+	// pinned wPAXOS liveness stall (ring:9, mid-broadcast crash, chords
+	// overlay — some seeds never terminate) with floodpaxos in the same
+	// cell, which survives it. (`amacexplore -grid` is the CLI face of
+	// exactly this call; see ROADMAP.md for the stall's root cause.)
+	campaign, err := explore.Campaign(harness.Grid{
+		Algos:    []string{"wpaxos", "floodpaxos"},
+		Topos:    []harness.Topo{{Kind: "ring", N: 9}},
+		Scheds:   []string{"random"},
+		Facks:    []int64{4},
+		Crashes:  []string{"midbroadcast"},
+		Overlays: []string{"chords"},
+		Seeds:    []int64{1, 2, 3, 4, 5, 6, 7, 8},
+	}, explore.CampaignOptions{MaxEvents: 200_000, Minimize: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncampaign over %d cells (%d runs): %d flagged run(s) in %d cell(s)\n",
+		len(campaign.Cells), campaign.Runs, campaign.Flagged, campaign.CellsFlagged)
+	for _, cov := range campaign.Coverage {
+		c := &campaign.Cells[cov.Cell]
+		fmt.Printf("  %-10s exercised %d distinct delivery orderings over %d seeds, flagged %d\n",
+			c.Algo, cov.Distinct, cov.Runs, cov.Flagged)
+	}
+	for _, f := range campaign.Findings {
+		fmt.Printf("  minimized %s counterexample: %s on %s, seed %d -> %d steps, %d deliveries (replayable artifact)\n",
+			f.Violation.Kind, f.Scenario.Algo, f.Scenario.Topo, f.Scenario.Seed, f.Steps, f.Deliveries)
+	}
 }

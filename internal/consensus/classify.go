@@ -1,0 +1,74 @@
+package consensus
+
+import "github.com/absmac/absmac/internal/sim"
+
+// This file classifies checked executions into violations. It used to live
+// in internal/explore, but the campaign pipeline needs the classification
+// on both sides of the sweep→explore boundary: sweep workers
+// (internal/harness) classify each seed's outcome to decide what to flag,
+// and the explorer/minimizer (internal/explore) preserve the violation
+// kind across perturbation and shrinking. consensus is below both, so the
+// verdict lives here and both import it without a cycle.
+
+// Violation kinds, in the severity order Classify assigns them.
+const (
+	KindAgreement      = "agreement"
+	KindValidity       = "validity"
+	KindNonTermination = "non-termination"
+	KindSubstrate      = "substrate"
+)
+
+// Severity ranks a violation kind, most severe first (0 = agreement),
+// matching the order Classify assigns dominant kinds. It is the one place
+// the severity order is encoded — the campaign's escalation policy sorts
+// with it. Unknown kinds rank least severe.
+func Severity(kind string) int {
+	switch kind {
+	case KindAgreement:
+		return 0
+	case KindValidity:
+		return 1
+	case KindNonTermination:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Violation describes one property breach found in an execution.
+type Violation struct {
+	// Kind is the dominant violated property (severity order: agreement,
+	// validity, non-termination, substrate).
+	Kind string `json:"kind"`
+	// Errors lists every property error the checker reported.
+	Errors []string `json:"errors,omitempty"`
+	// Quiescent distinguishes a stall (the execution drained its event
+	// queue with undecided survivors) from a potential livelock cut off by
+	// the event cap. Meaningful for non-termination findings.
+	Quiescent bool `json:"quiescent"`
+	// Events is the execution's processed-event count.
+	Events int `json:"events"`
+}
+
+// Classify reduces a checked execution to its violation, or nil when it
+// satisfied agreement, validity and termination with a clean substrate.
+func Classify(rep *Report, res *sim.Result) *Violation {
+	if rep.OK() {
+		return nil
+	}
+	kind := KindSubstrate
+	switch {
+	case !rep.Agreement:
+		kind = KindAgreement
+	case !rep.Validity:
+		kind = KindValidity
+	case !rep.Termination:
+		kind = KindNonTermination
+	}
+	return &Violation{
+		Kind:      kind,
+		Errors:    rep.Errors,
+		Quiescent: res.Quiescent,
+		Events:    res.Events,
+	}
+}

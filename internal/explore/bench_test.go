@@ -1,0 +1,38 @@
+package explore
+
+import (
+	"testing"
+
+	"github.com/absmac/absmac/internal/harness"
+)
+
+// BenchmarkCampaignScan measures the campaign's scan phase end to end on a
+// healthy fault grid — the same 12-cell workload as harness's
+// BenchmarkSweepGrid, but swept through Campaign with fingerprinting and
+// flag streaming on. No cell flags, so the number is pure scan cost: the
+// sweep plus one Fingerprinter per run plus the coverage bookkeeping. The
+// contrast with BenchmarkSweepGrid (which must stay at its pinned
+// allocation count — fingerprinting is opt-in) is the price of coverage,
+// recorded in BENCH_engine.json.
+func BenchmarkCampaignScan(b *testing.B) {
+	grid := harness.Grid{
+		Algos:    []string{"floodpaxos"},
+		Topos:    []harness.Topo{{Kind: "ring", N: 9}, {Kind: "grid", Rows: 3, Cols: 3}},
+		Scheds:   []string{"random"},
+		Facks:    []int64{4},
+		Crashes:  []string{"one@0", "midbroadcast"},
+		Overlays: []string{"none", "extra:4", "chords"},
+		Seeds:    []int64{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Campaign(grid, CampaignOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Cells) != 12 || rep.Flagged != 0 {
+			b.Fatalf("campaign scan broken: %d cells, %d flagged", len(rep.Cells), rep.Flagged)
+		}
+	}
+}

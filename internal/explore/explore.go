@@ -23,6 +23,19 @@
 // The Shrinker (shrink.go) delta-debugs a violating schedule down to a
 // minimal failing artifact; Artifact (artifact.go) is the JSON file format
 // cmd/amacexplore reads and writes.
+//
+// On top of single-scenario exploration sits the campaign pipeline
+// (campaign.go): Campaign sweeps a whole harness.Grid with flagged-run
+// streaming and schedule-coverage fingerprints on (harness.SweepOptions),
+// collects every violating (scenario, seed) the cell workers classify,
+// and turns up to PerCell flagged runs per cell into recorded,
+// perturbation-explored and minimized counterexample artifacts. All
+// replay work — exploration candidates and shrink candidates across every
+// flagged cell — runs on one shared worker pool (pool.go) whose workers
+// cache ReplayRunners per scenario, and shrinking evaluates its ddmin
+// candidate batches speculatively in parallel while accepting in
+// deterministic candidate order, so campaign reports and artifacts are
+// byte-identical at every pool width. cmd/amacexplore -grid is the CLI.
 package explore
 
 import (
@@ -32,56 +45,30 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/absmac/absmac/internal/consensus"
 	"github.com/absmac/absmac/internal/harness"
 	"github.com/absmac/absmac/internal/sim"
 )
 
-// Violation kinds, in the severity order Classify assigns them.
+// Violation kinds, in the severity order Classify assigns them. The
+// classification itself lives in internal/consensus so sweep workers
+// (internal/harness) flag runs with exactly the judgment the explorer and
+// the minimizer preserve; these names re-export it for this package's
+// callers and artifacts.
 const (
-	KindAgreement      = "agreement"
-	KindValidity       = "validity"
-	KindNonTermination = "non-termination"
-	KindSubstrate      = "substrate"
+	KindAgreement      = consensus.KindAgreement
+	KindValidity       = consensus.KindValidity
+	KindNonTermination = consensus.KindNonTermination
+	KindSubstrate      = consensus.KindSubstrate
 )
 
-// Violation describes one property breach found in an execution.
-type Violation struct {
-	// Kind is the dominant violated property (severity order: agreement,
-	// validity, non-termination, substrate).
-	Kind string `json:"kind"`
-	// Errors lists every property error the checker reported.
-	Errors []string `json:"errors,omitempty"`
-	// Quiescent distinguishes a stall (the execution drained its event
-	// queue with undecided survivors) from a potential livelock cut off by
-	// the event cap. Meaningful for non-termination findings.
-	Quiescent bool `json:"quiescent"`
-	// Events is the execution's processed-event count.
-	Events int `json:"events"`
-}
+// Violation describes one property breach found in an execution (see
+// consensus.Violation — the serialized artifact layout is unchanged).
+type Violation = consensus.Violation
 
 // Classify reduces an outcome to its violation, or nil when the execution
 // satisfied agreement, validity and termination with a clean substrate.
-func Classify(o *harness.Outcome) *Violation {
-	rep := o.Report
-	if rep.OK() {
-		return nil
-	}
-	kind := KindSubstrate
-	switch {
-	case !rep.Agreement:
-		kind = KindAgreement
-	case !rep.Validity:
-		kind = KindValidity
-	case !rep.Termination:
-		kind = KindNonTermination
-	}
-	return &Violation{
-		Kind:      kind,
-		Errors:    rep.Errors,
-		Quiescent: o.Result.Quiescent,
-		Events:    o.Result.Events,
-	}
-}
+func Classify(o *harness.Outcome) *Violation { return o.Violation() }
 
 // Options tunes an exploration. The zero value means: budget 256, workers
 // GOMAXPROCS, seed 1, the sweep default event cap, walk length 8, all
@@ -186,8 +173,20 @@ type candidate struct {
 
 // Explore records the scenario's base execution and searches perturbations
 // of its schedule for property violations. Deterministic given (sc, opts):
-// rerunning an exploration reproduces its findings exactly.
+// rerunning an exploration reproduces its findings exactly, at any worker
+// count.
 func Explore(sc harness.Scenario, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	p := newEvalPool(opts.Workers)
+	defer p.close()
+	return exploreOn(p, sc, opts)
+}
+
+// exploreOn runs one exploration on a caller-owned pool — the campaign
+// entry point, where many explorations and shrinks share one pool and its
+// per-worker runner caches. opts.Workers is ignored here; the pool's width
+// rules.
+func exploreOn(p *evalPool, sc harness.Scenario, opts Options) (*Report, error) {
 	opts = opts.withDefaults()
 	sc.MaxEvents = opts.MaxEvents
 	baseOut, baseSched, err := sc.RunRecorded()
@@ -203,58 +202,59 @@ func Explore(sc harness.Scenario, opts Options) (*Report, error) {
 	}
 
 	results := make([]*Finding, opts.Budget)
-	runErrs := make([]error, opts.Workers)
+	runErrs := make([]error, opts.Budget)
 	var diverged atomic.Int64
-	work := make(chan candidate, opts.Workers*2)
+	var failed atomic.Bool // a run error aborts the exploration, so stop replaying
+	var wg sync.WaitGroup
 
 	// Central deterministic candidate generation: neighborhood first, then
 	// seeded random walks; both deduplicated against everything generated
-	// so far (and against the base schedule).
+	// so far (and against the base schedule). The generator runs on this
+	// goroutine and the pool's submit blocks when every worker is busy, so
+	// generation never outruns the replays by more than the pool width.
 	gen := &generator{
 		base: baseSched,
 		rng:  rand.New(rand.NewSource(opts.Seed)),
 		seen: map[uint64]bool{baseSched.Hash(): true},
 		opts: opts,
 	}
-	go func() {
-		defer close(work)
-		gen.run(work)
-	}()
-
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Workers; w++ {
+	gen.run(func(c candidate) {
+		if failed.Load() {
+			// The exploration is already doomed to return an error;
+			// generation stays (it is cheap and keeps candidate indices
+			// deterministic) but the replays stop.
+			return
+		}
 		wg.Add(1)
-		go func(w int) {
+		p.submit(func(rs *runnerSet) {
 			defer wg.Done()
-			runner, err := sc.NewReplayRunner()
+			runner, err := rs.runner(sc)
 			if err != nil {
-				runErrs[w] = err
-				for range work { // drain so the producer can finish
-				}
+				runErrs[c.idx] = err
+				failed.Store(true)
 				return
 			}
-			for c := range work {
-				out, rp, err := runner.Run(c.s, nil)
-				if err != nil {
-					runErrs[w] = fmt.Errorf("candidate %d: %w", c.idx, err)
-					continue
-				}
-				if rp.Diverged() {
-					diverged.Add(1)
-				}
-				if v := Classify(out); v != nil {
-					results[c.idx] = &Finding{
-						Candidate:  c.idx,
-						Violation:  *v,
-						Steps:      len(c.s.Steps),
-						Deliveries: c.s.Deliveries(),
-						DivergedAt: rp.DivergedAt(),
-						Schedule:   c.s,
-					}
+			out, rp, err := runner.Run(c.s, nil)
+			if err != nil {
+				runErrs[c.idx] = fmt.Errorf("candidate %d: %w", c.idx, err)
+				failed.Store(true)
+				return
+			}
+			if rp.Diverged() {
+				diverged.Add(1)
+			}
+			if v := Classify(out); v != nil {
+				results[c.idx] = &Finding{
+					Candidate:  c.idx,
+					Violation:  *v,
+					Steps:      len(c.s.Steps),
+					Deliveries: c.s.Deliveries(),
+					DivergedAt: rp.DivergedAt(),
+					Schedule:   c.s,
 				}
 			}
-		}(w)
-	}
+		})
+	})
 	wg.Wait()
 	for _, err := range runErrs {
 		if err != nil {
@@ -290,21 +290,21 @@ type generator struct {
 	deduped  int
 }
 
-// emit deduplicates and sends a candidate; it reports whether the
+// emit deduplicates and sinks a candidate; it reports whether the
 // candidate was fresh.
-func (g *generator) emit(work chan<- candidate, s *sim.Schedule) bool {
+func (g *generator) emit(work func(candidate), s *sim.Schedule) bool {
 	h := s.Hash()
 	if g.seen[h] {
 		g.deduped++
 		return false
 	}
 	g.seen[h] = true
-	work <- candidate{idx: g.produced, s: s}
+	work(candidate{idx: g.produced, s: s})
 	g.produced++
 	return true
 }
 
-func (g *generator) run(work chan<- candidate) {
+func (g *generator) run(work func(candidate)) {
 	// Phase 1 — bounded neighborhood: radius-1 perturbations of the base
 	// schedule, enumerated step by step (jitter the step's timing, swap
 	// its first two delivered slots, flip each of its unreliable coins),

@@ -99,7 +99,7 @@ func TestShrinkPreservesViolationAndReduces(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Shrink(sc, sched, KindNonTermination, 200_000)
+	res, err := Shrink(sc, sched, KindNonTermination, ShrinkOptions{MaxEvents: 200_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestShrinkRefusesHealthySchedule(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Shrink(sc, sched, KindNonTermination, 200_000); err == nil {
+	if _, err := Shrink(sc, sched, KindNonTermination, ShrinkOptions{MaxEvents: 200_000}); err == nil {
 		t.Fatal("Shrink accepted a schedule that violates nothing")
 	}
 }

@@ -2,6 +2,7 @@ package explore
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/absmac/absmac/internal/harness"
 	"github.com/absmac/absmac/internal/sim"
@@ -28,12 +29,30 @@ import (
 // same kind AND strictly lowers the cost metric, so the loop terminates
 // and the final artifact always replays byte-identically with zero
 // divergence.
+//
+// Shrinking is parallel but width-invariant: each pass generates an
+// ordered candidate batch from the current schedule, the batch evaluates
+// speculatively on the shared worker pool, and acceptance scans the
+// results in candidate order, taking the FIRST improving candidate — so
+// the accepted sequence, the reported attempt count (the serial cost:
+// candidates up to and including the accepted one) and the final artifact
+// are byte-identical at every pool width. The determinism test pins
+// parallel Shrink against its width-1 self on the committed artifact.
 
 // cost is the minimizer's size metric: recorded steps plus delivered
 // slots, with crashes weighted heavily (dropping adversity explains more
 // than dropping traffic).
 func cost(s *sim.Schedule) int {
 	return len(s.Steps) + s.Deliveries() + 8*len(s.Crashes)
+}
+
+// ShrinkOptions tunes a minimization.
+type ShrinkOptions struct {
+	// MaxEvents caps each candidate replay (0 means the sweep default).
+	MaxEvents int
+	// Workers is the speculative-evaluation pool width (<= 0 means
+	// GOMAXPROCS). The result is identical at every width.
+	Workers int
 }
 
 // ShrinkResult reports a minimization.
@@ -46,7 +65,9 @@ type ShrinkResult struct {
 	FromSteps      int `json:"from_steps"`
 	FromDeliveries int `json:"from_deliveries"`
 	FromCrashes    int `json:"from_crashes"`
-	// Attempts counts candidate replays spent.
+	// Attempts counts candidate evaluations charged by the deterministic
+	// accounting (speculative evaluations past an accepted candidate are
+	// free, so the count is pool-width-invariant).
 	Attempts int `json:"attempts"`
 }
 
@@ -63,7 +84,7 @@ const shrinkAttemptCap = 4096
 // shrinker carries the minimization state.
 type shrinker struct {
 	sc       harness.Scenario
-	runner   *harness.ReplayRunner
+	pool     *evalPool
 	kind     string
 	cur      *sim.Schedule
 	curCost  int
@@ -71,38 +92,49 @@ type shrinker struct {
 }
 
 // Shrink minimizes a violating schedule for the scenario down to a smaller
-// schedule exhibiting the same violation kind. maxEvents caps each
-// candidate replay (0 means the sweep default). It errors when the input
+// schedule exhibiting the same violation kind. It errors when the input
 // schedule does not itself reproduce a violation of kind.
-func Shrink(sc harness.Scenario, sched *sim.Schedule, kind string, maxEvents int) (*ShrinkResult, error) {
+func Shrink(sc harness.Scenario, sched *sim.Schedule, kind string, opts ShrinkOptions) (*ShrinkResult, error) {
+	p := newEvalPool(opts.Workers)
+	defer p.close()
+	return shrinkOn(p, sc, sched, kind, opts.MaxEvents)
+}
+
+// shrinkOn runs one minimization on a caller-owned pool (the campaign
+// entry point).
+func shrinkOn(p *evalPool, sc harness.Scenario, sched *sim.Schedule, kind string, maxEvents int) (*ShrinkResult, error) {
 	if maxEvents <= 0 {
 		maxEvents = harness.DefaultSweepMaxEvents
 	}
 	sc.MaxEvents = maxEvents
-	runner, err := sc.NewReplayRunner()
-	if err != nil {
-		return nil, err
-	}
-	sh := &shrinker{sc: sc, runner: runner, kind: kind}
+	sh := &shrinker{sc: sc, pool: p, kind: kind}
 
 	// Close and verify the input: the minimized artifact must start from a
 	// reproducing counterexample, not a hope.
-	closed, ok, err := sh.check(sched)
-	if err != nil {
+	sh.curCost = int(^uint(0) >> 1) // any closed cost accepts
+	if idx, err := sh.round([]*sim.Schedule{sched}); err != nil {
 		return nil, err
-	}
-	if !ok {
+	} else if idx < 0 {
 		return nil, fmt.Errorf("explore: schedule does not reproduce a %s violation on %s/%s, nothing to shrink", kind, sc.Algo, sc.Topo)
 	}
 	res := &ShrinkResult{FromSteps: len(sched.Steps), FromDeliveries: sched.Deliveries(), FromCrashes: len(sched.Crashes)}
-	sh.cur = closed
-	sh.curCost = cost(closed)
 
 	sh.shrinkTopology(maxEvents)
 	for sh.attempts < shrinkAttemptCap {
-		improved := sh.dropCrashes()
-		improved = sh.pruneDeliveries() || improved
-		improved = sh.truncateSteps() || improved
+		improved, err := sh.dropCrashes()
+		if err != nil {
+			return nil, err
+		}
+		if more, err := sh.pruneDeliveries(); err != nil {
+			return nil, err
+		} else {
+			improved = more || improved
+		}
+		if more, err := sh.truncateSteps(); err != nil {
+			return nil, err
+		} else {
+			improved = more || improved
+		}
 		if !improved {
 			break
 		}
@@ -110,16 +142,15 @@ func Shrink(sc harness.Scenario, sched *sim.Schedule, kind string, maxEvents int
 
 	// Final verification replay (strictness belt-and-braces: the accepted
 	// schedule is closed, so it must replay without divergence).
-	out, rp, err := sh.runner.Run(sh.cur, nil)
+	v, divergedAt, err := sh.verify()
 	if err != nil {
 		return nil, err
 	}
-	v := Classify(out)
 	if v == nil || v.Kind != sh.kind {
 		return nil, fmt.Errorf("explore: minimized schedule failed re-verification (got %v, want %s)", v, sh.kind)
 	}
-	if rp.Diverged() {
-		return nil, fmt.Errorf("explore: minimized schedule diverged at step %d on its verification replay", rp.DivergedAt())
+	if divergedAt >= 0 {
+		return nil, fmt.Errorf("explore: minimized schedule diverged at step %d on its verification replay", divergedAt)
 	}
 	res.Artifact = &Artifact{
 		Format:    ArtifactFormat,
@@ -132,41 +163,113 @@ func Shrink(sc harness.Scenario, sched *sim.Schedule, kind string, maxEvents int
 	return res, nil
 }
 
-// check replays cand with re-recording and reports its closed form and
-// whether the target violation reproduces.
-func (s *shrinker) check(cand *sim.Schedule) (*sim.Schedule, bool, error) {
-	s.attempts++
-	out, _, closed, err := s.runner.RunRecorded(cand, nil)
-	if err != nil {
-		return nil, false, err
-	}
-	v := Classify(out)
-	if v == nil || v.Kind != s.kind {
-		return nil, false, nil
-	}
-	return closed, true, nil
+// verify replays the current schedule without re-recording, on the pool
+// (so the evaluation reuses a worker's runner for the scenario). The
+// classification and the divergence step (-1 = none) are extracted inside
+// the worker, per the pool's engine-ownership rule — the Outcome's Result
+// would not survive the worker's next run.
+func (s *shrinker) verify() (*Violation, int, error) {
+	var (
+		v          *Violation
+		divergedAt = -1
+		err        error
+	)
+	sc, cur := s.sc, s.cur
+	s.pool.runOne(func(rs *runnerSet) {
+		runner, e := rs.runner(sc)
+		if e != nil {
+			err = e
+			return
+		}
+		out, rp, e := runner.Run(cur, nil)
+		if e != nil {
+			err = e
+			return
+		}
+		v = Classify(out)
+		if rp.Diverged() {
+			divergedAt = rp.DivergedAt()
+		}
+	})
+	return v, divergedAt, err
 }
 
-// accept installs a candidate's closed form when it reproduces the
-// violation at a strictly lower cost.
-func (s *shrinker) accept(cand *sim.Schedule) bool {
-	closed, ok, err := s.check(cand)
-	if err != nil || !ok {
-		return false
+// evalOut is one candidate's speculative evaluation.
+type evalOut struct {
+	closed *sim.Schedule
+	ok     bool // violation of the target kind reproduced
+	cost   int
+	err    error
+}
+
+// round evaluates an ordered candidate batch and accepts the first
+// candidate whose closed form preserves the violation at a strictly lower
+// cost, installing it as the new current schedule. It returns the accepted
+// index, or -1 when no candidate improved. All candidates evaluate
+// concurrently on the pool, but the scan is in candidate order and the
+// attempt accounting charges only the serial prefix (accepted index + 1,
+// or the whole batch on rejection) — both are pool-width-invariant, so
+// shrinking is deterministic at any parallelism.
+func (s *shrinker) round(cands []*sim.Schedule) (int, error) {
+	// Honor the attempt cap inside the batch, not just between batches: a
+	// chunk=1 pruning round can carry hundreds of candidates, and the cap
+	// is a bound on replays actually charged. Prefix truncation keeps the
+	// accounting width-invariant.
+	if rem := shrinkAttemptCap - s.attempts; len(cands) > rem {
+		if rem <= 0 {
+			return -1, nil
+		}
+		cands = cands[:rem]
 	}
-	if c := cost(closed); c < s.curCost {
-		s.cur = closed
-		s.curCost = c
-		return true
+	if len(cands) == 0 {
+		return -1, nil
 	}
-	return false
+	outs := make([]evalOut, len(cands))
+	var wg sync.WaitGroup
+	sc, kind := s.sc, s.kind
+	for i := range cands {
+		i, cand := i, cands[i]
+		wg.Add(1)
+		s.pool.submit(func(rs *runnerSet) {
+			defer wg.Done()
+			runner, err := rs.runner(sc)
+			if err != nil {
+				outs[i].err = err
+				return
+			}
+			out, _, closed, err := runner.RunRecorded(cand, nil)
+			if err != nil {
+				outs[i].err = err
+				return
+			}
+			if v := Classify(out); v != nil && v.Kind == kind {
+				outs[i] = evalOut{closed: closed, ok: true, cost: cost(closed)}
+			}
+		})
+	}
+	wg.Wait()
+	for i := range outs {
+		if outs[i].err != nil {
+			s.attempts += i + 1
+			return -1, outs[i].err
+		}
+		if outs[i].ok && outs[i].cost < s.curCost {
+			s.attempts += i + 1
+			s.cur = outs[i].closed
+			s.curCost = outs[i].cost
+			return i, nil
+		}
+	}
+	s.attempts += len(cands)
+	return -1, nil
 }
 
 // shrinkTopology retries the whole scenario on smaller instances of
 // single-parameter topology families, re-recording from scratch (the
 // current schedule cannot transfer across node counts). It restarts the
 // minimization state on the smallest instance that still reproduces the
-// violation.
+// violation. Re-recording is inherently serial — each size gates the next
+// — so this pass does not use the pool.
 func (s *shrinker) shrinkTopology(maxEvents int) {
 	for s.attempts < shrinkAttemptCap {
 		t, ok := smallerTopo(s.sc.Topo)
@@ -184,13 +287,10 @@ func (s *shrinker) shrinkTopology(maxEvents int) {
 		if v == nil || v.Kind != s.kind {
 			return
 		}
-		runner2, err := sc2.NewReplayRunner()
-		if err != nil {
-			return
-		}
 		// sched2 is a complete recording of sc2's run, so it is already
-		// closed: adopt it directly as the new minimization state.
-		s.sc, s.runner, s.cur, s.curCost = sc2, runner2, sched2, cost(sched2)
+		// closed: adopt it directly as the new minimization state. Workers
+		// build runners for the smaller scenario lazily on the next round.
+		s.sc, s.cur, s.curCost = sc2, sched2, cost(sched2)
 	}
 }
 
@@ -213,21 +313,27 @@ func smallerTopo(t harness.Topo) (harness.Topo, bool) {
 	return t, true
 }
 
-// dropCrashes tries removing each scheduled crash, highest index first.
-func (s *shrinker) dropCrashes() bool {
+// dropCrashes tries removing each scheduled crash, highest index first,
+// restarting the batch on the reshaped schedule after every acceptance.
+func (s *shrinker) dropCrashes() (bool, error) {
 	improved := false
-	for i := len(s.cur.Crashes) - 1; i >= 0 && s.attempts < shrinkAttemptCap; i-- {
-		cand := s.cur.Clone()
-		if !cand.DropCrash(i) {
-			continue
+	for s.attempts < shrinkAttemptCap && len(s.cur.Crashes) > 0 {
+		cands := make([]*sim.Schedule, 0, len(s.cur.Crashes))
+		for i := len(s.cur.Crashes) - 1; i >= 0; i-- {
+			if cand := s.cur.Clone(); cand.DropCrash(i) {
+				cands = append(cands, cand)
+			}
 		}
-		if s.accept(cand) {
-			improved = true
-			// cur changed shape; restart the index walk on it.
-			i = len(s.cur.Crashes)
+		idx, err := s.round(cands)
+		if err != nil {
+			return improved, err
 		}
+		if idx < 0 {
+			return improved, nil
+		}
+		improved = true
 	}
-	return improved
+	return improved, nil
 }
 
 // overlaySlot addresses one delivered unreliable slot.
@@ -247,16 +353,16 @@ func deliveredOverlaySlots(s *sim.Schedule) []overlaySlot {
 }
 
 // pruneDeliveries removes delivered unreliable-edge slots ddmin-style:
-// chunks of halving size, recomputing the slot list after every accepted
-// reduction (acceptance re-closes the schedule, which can reshape it).
-func (s *shrinker) pruneDeliveries() bool {
+// chunks of halving size, each granularity one candidate batch, with the
+// slot list recomputed after every accepted reduction (acceptance
+// re-closes the schedule, which can reshape it).
+func (s *shrinker) pruneDeliveries() (bool, error) {
 	improved := false
 	items := deliveredOverlaySlots(s.cur)
 	chunk := len(items)
 	for chunk >= 1 && s.attempts < shrinkAttemptCap {
-		i := 0
-		progressed := false
-		for i < len(items) && s.attempts < shrinkAttemptCap {
+		cands := make([]*sim.Schedule, 0, (len(items)+chunk-1)/chunk)
+		for i := 0; i < len(items); i += chunk {
 			cand := s.cur.Clone()
 			applied := 0
 			for _, it := range items[i:minInt(i+chunk, len(items))] {
@@ -264,54 +370,61 @@ func (s *shrinker) pruneDeliveries() bool {
 					applied++
 				}
 			}
-			if applied > 0 && s.accept(cand) {
-				improved = true
-				progressed = true
-				items = deliveredOverlaySlots(s.cur)
-				// restart this granularity on the reshaped schedule
-				i = 0
-				continue
+			if applied > 0 {
+				cands = append(cands, cand)
 			}
-			i += chunk
 		}
-		if !progressed {
-			chunk /= 2
+		idx, err := s.round(cands)
+		if err != nil {
+			return improved, err
 		}
+		if idx >= 0 {
+			improved = true
+			// Restart this granularity on the reshaped schedule.
+			items = deliveredOverlaySlots(s.cur)
+			if len(items) == 0 {
+				break
+			}
+			if chunk > len(items) {
+				chunk = len(items)
+			}
+			continue
+		}
+		chunk /= 2
 	}
-	return improved
+	return improved, nil
 }
 
 // truncateSteps tries cutting the recorded suffix at halving fractions,
 // letting the fallback planner finish the run; acceptance re-closes the
 // schedule, so an accepted truncation only survives when the re-recorded
 // complete run is genuinely smaller.
-func (s *shrinker) truncateSteps() bool {
+func (s *shrinker) truncateSteps() (bool, error) {
 	improved := false
 	for s.attempts < shrinkAttemptCap {
 		n := len(s.cur.Steps)
 		if n == 0 {
-			return improved
+			return improved, nil
 		}
-		progressed := false
+		cands := make([]*sim.Schedule, 0, 3)
 		for _, p := range []int{n / 2, (3 * n) / 4, n - 1} {
 			if p < 0 || p >= n {
 				continue
 			}
-			cand := s.cur.Clone()
-			if !cand.Truncate(p) {
-				continue
-			}
-			if s.accept(cand) {
-				improved = true
-				progressed = true
-				break
+			if cand := s.cur.Clone(); cand.Truncate(p) {
+				cands = append(cands, cand)
 			}
 		}
-		if !progressed {
-			return improved
+		idx, err := s.round(cands)
+		if err != nil {
+			return improved, err
 		}
+		if idx < 0 {
+			return improved, nil
+		}
+		improved = true
 	}
-	return improved
+	return improved, nil
 }
 
 func minInt(a, b int) int {

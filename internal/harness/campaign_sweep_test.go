@@ -1,0 +1,231 @@
+package harness
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/absmac/absmac/internal/sim"
+)
+
+// This file tests the sweep features the campaign layer is built on:
+// flagged-run streaming, schedule-coverage fingerprints and coverage
+// saturation (SweepOptions), plus the identity between the streaming
+// fingerprinter and the fingerprint of a recorded schedule.
+
+// TestFingerprintMatchesRecording pins the two routes to the coverage
+// digest against each other: a live sim.Fingerprinter watching an
+// execution must produce exactly Schedule.Fingerprint() of that
+// execution's recording — including crash times and unreliable-edge coin
+// outcomes.
+func TestFingerprintMatchesRecording(t *testing.T) {
+	for _, sc := range []Scenario{
+		{Algo: "floodpaxos", Topo: Topo{Kind: "ring", N: 7}, Sched: "random", Fack: 4, Seed: 3},
+		{Algo: "floodpaxos", Topo: Topo{Kind: "grid", Rows: 3, Cols: 3}, Sched: "random", Fack: 4, Seed: 5,
+			Crashes: "one@0", Overlay: "extra:4@0.6"},
+		{Algo: "twophase", Topo: Topo{Kind: "clique", N: 6}, Sched: "sync", Fack: 3, Seed: 1},
+	} {
+		_, sched, err := sc.RunRecorded()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := sc.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := sim.NewFingerprinter(cfg.Scheduler, cfg.Crashes)
+		cfg.Scheduler = fp
+		sim.Run(cfg)
+		if got, want := fp.Sum(), sched.Fingerprint(); got != want {
+			t.Errorf("%s on %s: live fingerprint %x != recorded schedule fingerprint %x", sc.Algo, sc.Topo, got, want)
+		}
+	}
+}
+
+// TestFingerprintDistinguishesSeeds: different seeds of a randomized cell
+// must fingerprint differently, and re-running a seed must reproduce its
+// fingerprint (the digest is a pure function of the execution).
+func TestFingerprintDistinguishesSeeds(t *testing.T) {
+	base := Scenario{Algo: "floodpaxos", Topo: Topo{Kind: "ring", N: 7}, Sched: "random", Fack: 4}
+	seen := map[uint64]int64{}
+	for seed := int64(1); seed <= 4; seed++ {
+		sc := base
+		sc.Seed = seed
+		_, s1, err := sc.RunRecorded()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, s2, err := sc.RunRecorded()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1.Fingerprint() != s2.Fingerprint() {
+			t.Fatalf("seed %d fingerprints unstable", seed)
+		}
+		if prev, dup := seen[s1.Fingerprint()]; dup {
+			t.Fatalf("seeds %d and %d share a fingerprint", prev, seed)
+		}
+		seen[s1.Fingerprint()] = seed
+	}
+}
+
+// stallGrid is a two-cell grid: the pinned wPAXOS liveness stall
+// (violating for some seeds) next to the floodpaxos contrast cell
+// (healthy for all).
+func stallGrid(seeds int) Grid {
+	g := Grid{
+		Algos:     []string{"wpaxos", "floodpaxos"},
+		Topos:     []Topo{{Kind: "ring", N: 9}},
+		Scheds:    []string{"random"},
+		Facks:     []int64{4},
+		Crashes:   []string{"midbroadcast"},
+		Overlays:  []string{"chords"},
+		MaxEvents: 200_000,
+	}
+	for s := int64(1); s <= int64(seeds); s++ {
+		g.Seeds = append(g.Seeds, s)
+	}
+	return g
+}
+
+// TestSweepStreamsFlaggedRuns: every violating run must surface through
+// OnFlag exactly once, with a classification consistent with the cell
+// aggregates, identically at every pool width.
+func TestSweepStreamsFlaggedRuns(t *testing.T) {
+	work, err := stallGrid(8).Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref []FlaggedRun
+	for _, workers := range []int{1, 2, 8} {
+		var (
+			mu      sync.Mutex
+			flagged []FlaggedRun
+		)
+		cells, err := SweepCellsOpts(work, SweepOptions{
+			Workers:     workers,
+			Fingerprint: true,
+			OnFlag: func(f FlaggedRun) {
+				mu.Lock()
+				flagged = append(flagged, f)
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(flagged, func(i, j int) bool {
+			if flagged[i].Cell != flagged[j].Cell {
+				return flagged[i].Cell < flagged[j].Cell
+			}
+			return flagged[i].Run < flagged[j].Run
+		})
+		if len(flagged) == 0 {
+			t.Fatal("the known wPAXOS stall cell produced no flagged runs")
+		}
+		// Flag stream must agree with the cell aggregates.
+		badRuns := 0
+		for i := range cells {
+			badRuns += cells[i].Runs - cells[i].Correct
+		}
+		if len(flagged) != badRuns {
+			t.Fatalf("%d flagged runs, cells count %d incorrect runs", len(flagged), badRuns)
+		}
+		for _, f := range flagged {
+			if f.Cell != 0 {
+				t.Fatalf("flagged run in cell %d; only cell 0 (wpaxos) may violate", f.Cell)
+			}
+			if f.Violation == nil || f.Violation.Kind == "" {
+				t.Fatalf("flagged run carries no violation: %+v", f)
+			}
+			if f.Fingerprint == 0 {
+				t.Fatalf("fingerprinting on, but flagged run has zero fingerprint")
+			}
+			if f.Scenario.Algo != "wpaxos" || f.Scenario.Seed == 0 {
+				t.Fatalf("flagged scenario not filled in: %+v", f.Scenario)
+			}
+		}
+		if ref == nil {
+			ref = flagged
+			continue
+		}
+		if len(ref) != len(flagged) {
+			t.Fatalf("workers=%d: %d flagged runs, want %d", workers, len(flagged), len(ref))
+		}
+		for i := range ref {
+			a, b := ref[i], flagged[i]
+			if a.Cell != b.Cell || a.Run != b.Run || a.Fingerprint != b.Fingerprint ||
+				a.Violation.Kind != b.Violation.Kind || a.Scenario.Seed != b.Scenario.Seed {
+				t.Fatalf("workers=%d: flagged run %d differs: %+v vs %+v", workers, i, a, b)
+			}
+		}
+	}
+}
+
+// TestSweepCoverageAndSaturation: a deterministic cell (sync scheduler, no
+// randomness anywhere) collapses to one distinct schedule, so with
+// SaturateAfter=2 the cell must stop after 3 runs; a random cell keeps
+// producing fresh fingerprints and runs its full seed axis.
+func TestSweepCoverageAndSaturation(t *testing.T) {
+	grid := Grid{
+		Algos:  []string{"floodpaxos"},
+		Topos:  []Topo{{Kind: "ring", N: 5}},
+		Scheds: []string{"sync", "random"},
+		Facks:  []int64{3},
+		Seeds:  []int64{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	work, err := grid.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := SweepCellsOpts(work, SweepOptions{SaturateAfter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync, random := cells[0], cells[1]
+	if sync.DistinctSchedules != 1 {
+		t.Fatalf("sync cell exercised %d distinct schedules, want 1", sync.DistinctSchedules)
+	}
+	if sync.Runs != 3 { // 1 fresh + 2 stale = stop
+		t.Fatalf("sync cell ran %d seeds, want saturation stop after 3", sync.Runs)
+	}
+	if random.Runs != 8 || random.DistinctSchedules != 8 {
+		t.Fatalf("random cell ran %d seeds with %d distinct schedules, want 8/8", random.Runs, random.DistinctSchedules)
+	}
+
+	// A seed-sensitive algorithm (benor draws its own coins from the
+	// seed) must never saturate on schedule-skeleton collisions: the
+	// fingerprint is salted with the seed exactly when the execution
+	// depends on it beyond the scheduler, so every seed counts as a
+	// distinct execution and the full axis runs.
+	bwork, err := Grid{
+		Algos:  []string{"benor"},
+		Topos:  []Topo{{Kind: "clique", N: 4}},
+		Scheds: []string{"sync"},
+		Facks:  []int64{4},
+		Seeds:  grid.Seeds,
+	}.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcells, err := SweepCellsOpts(bwork, SweepOptions{SaturateAfter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bcells[0].Runs != 8 || bcells[0].DistinctSchedules != 8 {
+		t.Fatalf("benor cell ran %d seeds with %d distinct fingerprints, want 8/8 (seed salt missing?)",
+			bcells[0].Runs, bcells[0].DistinctSchedules)
+	}
+
+	// Without fingerprinting the coverage field stays zero (and the JSON
+	// omits it — the golden sweep output pins that byte-for-byte).
+	plain, err := SweepCells(work, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i].DistinctSchedules != 0 {
+			t.Fatalf("fingerprinting off but cell %d reports coverage %d", i, plain[i].DistinctSchedules)
+		}
+	}
+}

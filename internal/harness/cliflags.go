@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is the shared sweep-axis flag grammar of the CLIs: cmd/amacsim
+// (-sweep) and cmd/amacexplore (-grid) accept exactly the same
+// -algos/-topos/-scheds/-facks/-crashes/-overlays/-seeds/-workers axes, so
+// the registration, parsing and guard logic live here once instead of
+// being hand-rolled per command. AxisFlags.Grid validates nothing beyond
+// syntax — the semantic checks (unknown names, empty axes) happen in
+// Grid.Cells and the registries, in their documented deterministic order.
+
+// AxisFlags holds the sweep-axis flags both CLIs share. Register them on a
+// FlagSet with RegisterAxisFlags; after parsing, Grid assembles the sweep
+// grid. The -inputs axis is deliberately not registered here: both CLIs
+// already own an -inputs flag that does double duty in their single-
+// scenario modes, so they pass its value to Grid explicitly.
+type AxisFlags struct {
+	Algos    *string
+	Topos    *string
+	Scheds   *string
+	Facks    *string
+	Crashes  *string
+	Overlays *string
+	Seeds    *int
+	Workers  *int
+
+	names []string // recorded at registration, so Names cannot drift
+}
+
+// RegisterAxisFlags registers the shared sweep-axis flags on fs with the
+// canonical defaults and usage strings. mode names the sweep mode in the
+// usage text ("sweep" for amacsim, "grid" for amacexplore).
+func RegisterAxisFlags(fs *flag.FlagSet, mode string) *AxisFlags {
+	a := &AxisFlags{}
+	str := func(name, def, usage string) *string {
+		a.names = append(a.names, name)
+		return fs.String(name, def, usage)
+	}
+	num := func(name string, def int, usage string) *int {
+		a.names = append(a.names, name)
+		return fs.Int(name, def, usage)
+	}
+	a.Algos = str("algos", "wpaxos", mode+": comma-separated algorithms")
+	a.Topos = str("topos", "clique:8,grid:3x3", mode+": comma-separated topology specs")
+	a.Scheds = str("scheds", "sync,random", mode+": comma-separated schedulers")
+	a.Facks = str("facks", "4", mode+": comma-separated Fack values")
+	a.Crashes = str("crashes", "none", mode+": comma-separated crash patterns")
+	a.Overlays = str("overlays", "none", mode+": comma-separated overlay families")
+	a.Seeds = num("seeds", 8, mode+": seeds 1..k per cell")
+	a.Workers = num("workers", 0, "worker pool width (0 = GOMAXPROCS)")
+	return a
+}
+
+// Names returns the registered flag names in registration order, for
+// per-mode stray-flag guards — derived from what RegisterAxisFlags
+// actually registered, so adding an axis flag keeps the guards in sync.
+func (a *AxisFlags) Names() []string {
+	return append([]string(nil), a.names...)
+}
+
+// Grid assembles the parsed axes into a sweep grid. inputs is the CLI's
+// -inputs value (comma-separated pattern names; empty means the grid
+// default). Topology and Fack entries are parsed here — syntax errors
+// surface immediately, attributed to their flag — while axis-emptiness and
+// registry-name validation stay in Grid.Cells and the scenario build,
+// which report in a deterministic order regardless of axis contents.
+func (a *AxisFlags) Grid(inputs string) (Grid, error) {
+	grid := Grid{
+		Algos:    SplitList(*a.Algos),
+		Scheds:   SplitList(*a.Scheds),
+		Inputs:   SplitList(inputs),
+		Crashes:  SplitList(*a.Crashes),
+		Overlays: SplitList(*a.Overlays),
+	}
+	for _, s := range SplitList(*a.Topos) {
+		t, err := ParseTopo(s)
+		if err != nil {
+			return Grid{}, err
+		}
+		grid.Topos = append(grid.Topos, t)
+	}
+	for _, s := range SplitList(*a.Facks) {
+		f, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Grid{}, fmt.Errorf("bad -facks entry %q: %w", s, err)
+		}
+		grid.Facks = append(grid.Facks, f)
+	}
+	for s := int64(1); s <= int64(*a.Seeds); s++ {
+		grid.Seeds = append(grid.Seeds, s)
+	}
+	return grid, nil
+}
+
+// SplitList splits a comma-separated flag value, trimming blanks — the
+// list grammar of every sweep axis.
+func SplitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// StrayFlags returns the names of flags that were explicitly set but are
+// disallowed in the active mode, in the FlagSet's visit order (lexical, so
+// the resulting error message is deterministic). Both CLIs fail loudly on
+// stray flags rather than let the user attribute results to a flag that
+// was silently dropped.
+func StrayFlags(fs *flag.FlagSet, disallowed func(name string) bool) []string {
+	var stray []string
+	fs.Visit(func(f *flag.Flag) {
+		if disallowed(f.Name) {
+			stray = append(stray, "-"+f.Name)
+		}
+	})
+	return stray
+}
+
+// NameSet turns flag-name lists into the membership predicate StrayFlags
+// consumes most often.
+func NameSet(names ...[]string) map[string]bool {
+	set := map[string]bool{}
+	for _, list := range names {
+		for _, n := range list {
+			set[n] = true
+		}
+	}
+	return set
+}

@@ -31,6 +31,16 @@
 // always built fresh. Scenario.Run stays the uncached single-execution
 // API. See cmd/amacsim's package comment for the sweep grammar.
 //
+// Sweeps also feed the campaign layer (internal/explore.Campaign):
+// SweepCellsOpts streams every violating run out of the cell workers as a
+// FlaggedRun the moment it is classified (consensus.Classify — the same
+// judgment the explorer applies to perturbed schedules), and can wrap each
+// run in a sim.Fingerprinter to report per-cell schedule coverage
+// (Cell.DistinctSchedules — how many distinct delivery orderings the seeds
+// actually exercised) and stop a cell early when coverage saturates. Both
+// are opt-in: a plain sweep builds neither and its hot path is pinned
+// allocation-for-allocation by BENCH_engine.json.
+//
 // Scenarios are also recordable and replayable (record.go):
 // Scenario.RunRecorded captures every nondeterministic decision of a run
 // — each broadcast's delivery plan with its unreliable-edge coin
@@ -116,6 +126,15 @@ type Outcome struct {
 // validity and termination.
 func (o *Outcome) OK() bool { return o.Report.OK() }
 
+// Violation classifies the outcome (see consensus.Classify), or nil when
+// the run was clean. Sweep workers use it to flag violating runs for the
+// campaign layer; internal/explore uses the same classification to judge
+// perturbed and minimized schedules, so a run flagged here is exactly a
+// run the explorer would report.
+func (o *Outcome) Violation() *consensus.Violation {
+	return consensus.Classify(o.Report, o.Result)
+}
+
 // --- algorithm registry ---
 
 type algoCtor func(n int, seed int64) amac.Factory
@@ -133,13 +152,36 @@ var algorithms = map[string]algoCtor{
 	// bound diameter <= n-1. That keeps them correct exactly where the
 	// paper says they are (crash-free reliable executions whose scheduler
 	// lets information traverse within the budget) while sweeps can now
-	// reach the regimes that defeat them.
+	// reach the regimes that defeat them. Algorithms that consume the
+	// seed must also appear in seededAlgos below.
 	"anonflood": func(n int, _ int64) amac.Factory {
 		return anonflood.NewFactory(anonflood.RoundsForDiameter(n - 1))
 	},
 	"waitall": func(n int, _ int64) amac.Factory {
 		return waitall.NewFactory(waitall.RoundsForDiameter(n - 1))
 	},
+}
+
+// seededAlgos names the registered algorithms whose behaviour depends on
+// the scenario seed (they draw randomness of their own — benor's coin
+// flips — rather than inheriting all nondeterminism from the scheduler).
+// Coverage fingerprinting consults it: see fingerprintSalt.
+var seededAlgos = map[string]bool{"benor": true}
+
+// fingerprintSalt returns the word to fold into the scenario's coverage
+// fingerprint beyond the schedule digest: the seed when the execution
+// depends on it through channels the digest cannot see (algorithm RNG,
+// a seed-built topology, a seed-built overlay), 0 otherwise. Salting
+// makes every seed of such a cell a distinct "ordering", which is
+// exactly right — saturation must never skip seeds that genuinely change
+// the execution, and DistinctSchedules must count executions, not
+// schedule skeletons.
+func (s Scenario) fingerprintSalt() int64 {
+	if seededAlgos[s.Algo] || s.Topo.buildSeed(s.Seed) != 0 ||
+		(s.Overlay != "" && s.Overlay != "none" && overlaySeedDependent(overlayFamily(s.Overlay))) {
+		return s.Seed
+	}
+	return 0
 }
 
 // Algorithms returns the registered algorithm names, sorted.
@@ -360,10 +402,19 @@ type runner struct {
 // run executes one scenario. The returned Outcome's Result is owned by the
 // runner's engine and is valid only until the next run call — callers must
 // extract what they need (the accumulator does) before running again.
-func (r *runner) run(s Scenario) (*Outcome, error) {
+// With fingerprint set, the scheduler is wrapped in a sim.Fingerprinter
+// and the run's schedule-coverage digest is returned alongside the
+// outcome; without it the wrapper is never constructed and the second
+// return is 0 — the sweep hot path pays nothing for the capability.
+func (r *runner) run(s Scenario, fingerprint bool) (*Outcome, uint64, error) {
 	cfg, info, err := s.build(r.caches)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	var fp *sim.Fingerprinter
+	if fingerprint {
+		fp = sim.NewFingerprinter(cfg.Scheduler, cfg.Crashes)
+		cfg.Scheduler = fp
 	}
 	if r.eng == nil {
 		r.eng = sim.NewEngine(cfg)
@@ -371,6 +422,13 @@ func (r *runner) run(s Scenario) (*Outcome, error) {
 		r.eng.Reset(cfg)
 	}
 	res := r.eng.Run()
+	var sum uint64
+	if fp != nil {
+		sum = fp.Sum()
+		if salt := s.fingerprintSalt(); salt != 0 {
+			sum = sim.SaltFingerprint(sum, salt)
+		}
+	}
 	return &Outcome{
 		Scenario: s,
 		Result:   res,
@@ -378,7 +436,7 @@ func (r *runner) run(s Scenario) (*Outcome, error) {
 		N:        cfg.Graph.N(),
 		Diameter: info.diameter,
 		Fack:     cfg.Scheduler.Fack(),
-	}, nil
+	}, sum, nil
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -69,6 +69,80 @@ func TestStallArtifactReplaysByteIdentically(t *testing.T) {
 	}
 }
 
+// floodStallArtifact is the minimized floodpaxos liveness counterexample
+// the PR 5 campaign produced from the grid:3x3 stall cell that PR 4's
+// verification drive left open (crash pattern one@3 — the highest-index
+// node dies at t=3 — under the extra:4@0.6 overlay). Root cause in
+// ROADMAP.md: the max-id-heard Ω never demotes a dead leader, so every
+// survivor waits forever on node 8's proposals; the overlay is incidental.
+const floodStallArtifact = "testdata/stall_floodpaxos_one3_extra.json"
+
+// TestFloodStallArtifactReplaysByteIdentically is the golden replay test
+// for the campaign-produced floodpaxos artifact: zero divergence, exactly
+// the recorded violation, deterministic across replays.
+func TestFloodStallArtifactReplaysByteIdentically(t *testing.T) {
+	a, err := explore.ReadFile(floodStallArtifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Violation == nil || a.Violation.Kind != explore.KindNonTermination {
+		t.Fatalf("artifact records %+v, want a non-termination violation", a.Violation)
+	}
+	replay := func() string {
+		out, rp, err := a.Replay(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rp.Diverged() {
+			t.Fatalf("committed artifact diverged at step %d", rp.DivergedAt())
+		}
+		if !out.Report.Agreement || !out.Report.Validity {
+			t.Fatalf("replayed stall broke safety: %v", out.Report.Errors)
+		}
+		v := explore.Classify(out)
+		if v == nil || v.Kind != a.Violation.Kind || v.Events != a.Violation.Events || v.Quiescent != a.Violation.Quiescent {
+			t.Fatalf("replay classified as %+v, artifact records %+v", v, a.Violation)
+		}
+		b, err := json.Marshal(out.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if replay() != replay() {
+		t.Fatal("two replays of the committed artifact differ")
+	}
+}
+
+// TestFloodStallArtifactIsMinimal pins what the campaign's shrinker cut:
+// grid:RxC has no topology knob and the stall needs its crash, so the
+// reduction is all overlay-delivery pruning — the artifact must explain
+// the stall at a strictly lower shrinker cost (steps + deliveries +
+// 8*crashes, the minimizer's acceptance metric; pruning deliveries may
+// reshape the re-recorded flood into a few extra steps) than the raw
+// recording of the same cell.
+func TestFloodStallArtifactIsMinimal(t *testing.T) {
+	a, err := explore.ReadFile(floodStallArtifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := a.Scenario
+	orig.MaxEvents = a.MaxEvents
+	_, sched, err := orig.RunRecorded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := func(steps, deliveries, crashes int) int { return steps + deliveries + 8*crashes }
+	got := cost(len(a.Schedule.Steps), a.Schedule.Deliveries(), len(a.Schedule.Crashes))
+	from := cost(len(sched.Steps), sched.Deliveries(), len(sched.Crashes))
+	if got >= from {
+		t.Fatalf("artifact cost %d, original stall %d — not minimized", got, from)
+	}
+	if got, from := a.Schedule.Deliveries(), sched.Deliveries(); got >= from {
+		t.Fatalf("artifact has %d deliveries, original stall %d — nothing pruned", got, from)
+	}
+}
+
 // TestStallArtifactIsMinimal pins the minimizer's value: the committed
 // artifact must be strictly smaller than a fresh recording of the original
 // stall cell it came from.

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 
+	"github.com/absmac/absmac/internal/consensus"
 	"github.com/absmac/absmac/internal/stats"
 )
 
@@ -202,6 +203,14 @@ type Cell struct {
 	Broadcasts Summary `json:"broadcasts"`
 	Deliveries Summary `json:"deliveries"`
 
+	// DistinctSchedules counts the distinct schedule-coverage fingerprints
+	// (see sim.Fingerprinter) observed across the cell's runs — how many
+	// different delivery orderings the seeds actually exercised. Zero when
+	// the sweep did not ask for fingerprints (SweepOptions.Fingerprint),
+	// and omitted from the JSON then, so fingerprint-free sweep output is
+	// byte-identical to earlier releases.
+	DistinctSchedules int `json:"distinct_schedules,omitempty"`
+
 	// Errors lists distinct consensus violations observed in the cell.
 	Errors []string `json:"errors,omitempty"`
 }
@@ -244,6 +253,7 @@ type cellAccum struct {
 	survivorDecide, faults         []float64
 	diameters, facks               []float64
 	errSeen                        map[string]bool
+	fpSeen                         map[uint64]bool
 }
 
 func newCellAccum(runs int) *cellAccum {
@@ -261,7 +271,11 @@ func newCellAccum(runs int) *cellAccum {
 	}
 }
 
-func (a *cellAccum) add(o *Outcome) {
+// add folds one outcome in; fp is the run's schedule-coverage fingerprint
+// and fpOn whether fingerprints were computed at all. It reports whether
+// the fingerprint was fresh for this cell (always false with fpOn unset),
+// which is what the saturation early-stop counts.
+func (a *cellAccum) add(o *Outcome, fp uint64, fpOn bool) bool {
 	s := o.Scenario
 	if !a.started {
 		a.started = true
@@ -298,6 +312,18 @@ func (a *cellAccum) add(o *Outcome) {
 	}
 	a.broadcasts = append(a.broadcasts, float64(o.Result.Broadcasts))
 	a.deliveries = append(a.deliveries, float64(o.Result.Deliveries))
+	if !fpOn {
+		return false
+	}
+	if a.fpSeen == nil {
+		a.fpSeen = map[uint64]bool{}
+	}
+	if a.fpSeen[fp] {
+		return false
+	}
+	a.fpSeen[fp] = true
+	a.cell.DistinctSchedules++
+	return true
 }
 
 func (a *cellAccum) finish() Cell {
@@ -341,6 +367,62 @@ func groupScenarios(scs []Scenario) []*cellGroup {
 	return groups
 }
 
+// FlaggedRun is one violating execution streamed out of a sweep: the
+// scenario (seed included), its classification, where it sits in the
+// sweep's cell list, and — when fingerprinting is on — its
+// schedule-coverage fingerprint. This is the sweep→explore work item: the
+// campaign layer (internal/explore.Campaign) collects flagged runs and
+// turns each flagged cell into a recorded, perturbed and minimized
+// counterexample instead of a buried Errors entry.
+type FlaggedRun struct {
+	// Cell indexes the sweep's returned cell slice.
+	Cell int
+	// Run is the scenario's position within its cell (seed order).
+	Run int
+	// Scenario is the complete violating scenario, replayable as is.
+	Scenario Scenario
+	// Violation classifies what broke (see consensus.Classify).
+	Violation *consensus.Violation
+	// Fingerprint is the run's schedule-coverage digest, 0 when the sweep
+	// did not compute fingerprints.
+	Fingerprint uint64
+}
+
+// SweepOptions tunes a sweep beyond the worker-pool width. The zero value
+// reproduces the plain Sweep/SweepCells behaviour exactly.
+type SweepOptions struct {
+	// Workers is the worker-pool width (<= 0 means GOMAXPROCS).
+	Workers int
+	// OnFlag, when non-nil, receives every run that violates a consensus
+	// property, as soon as its cell's worker classifies it. It is called
+	// concurrently from worker goroutines and must be safe for that;
+	// cross-cell ordering follows worker scheduling, so deterministic
+	// consumers sort by (Cell, Run) — both are deterministic identities.
+	OnFlag func(FlaggedRun)
+	// Fingerprint computes a schedule-coverage fingerprint per run (one
+	// sim.Fingerprinter wrapper per execution) and reports the number of
+	// distinct fingerprints per cell in Cell.DistinctSchedules. Off by
+	// default: the sweep hot path is allocation-identical to a build
+	// without the feature when unset.
+	Fingerprint bool
+	// SaturateAfter stops a cell's seed loop early once that many
+	// consecutive seeds produced no new fingerprint — the cell's schedule
+	// coverage has saturated, so further seeds would re-measure the same
+	// executions. Cell.Runs then reports how many seeds actually ran.
+	// 0 means never stop early; setting it implies Fingerprint.
+	SaturateAfter int
+}
+
+func (o SweepOptions) normalized() SweepOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.SaturateAfter > 0 {
+		o.Fingerprint = true
+	}
+	return o
+}
+
 // Sweep runs every scenario on a worker pool of the given width (<= 0
 // means GOMAXPROCS) and aggregates outcomes into cells, one per distinct
 // (algo, topo, inputs, sched, fack, crashes, overlay) combination, in
@@ -348,9 +430,10 @@ func groupScenarios(scs []Scenario) []*cellGroup {
 // whole cells are scheduled onto workers: each worker reuses one engine
 // across the seeds of a cell, and all workers share memoized topology,
 // diameter, overlay and input caches. Scenario construction errors abort
-// the sweep; consensus violations do not — they are reported per cell.
+// the sweep; consensus violations do not — they are reported per cell
+// (and streamed to SweepOptions.OnFlag, via SweepCellsOpts).
 func Sweep(scs []Scenario, workers int) ([]Cell, error) {
-	return sweepGroups(groupScenarios(scs), workers)
+	return sweepGroups(groupScenarios(scs), SweepOptions{Workers: workers})
 }
 
 // SweepCells runs cell work-units (see Grid.Cells) directly, one unit per
@@ -359,6 +442,12 @@ func Sweep(scs []Scenario, workers int) ([]Cell, error) {
 // work-units sharing a cell identity are rejected rather than silently
 // emitted as duplicate rows (flatten to Sweep when merging is wanted).
 func SweepCells(cells []CellWork, workers int) ([]Cell, error) {
+	return SweepCellsOpts(cells, SweepOptions{Workers: workers})
+}
+
+// SweepCellsOpts is SweepCells with the full option set: flagged-run
+// streaming, schedule-coverage fingerprints and coverage saturation.
+func SweepCellsOpts(cells []CellWork, opts SweepOptions) ([]Cell, error) {
 	seen := make(map[cellIdent]bool, len(cells))
 	for _, cw := range cells {
 		if len(cw.Seeds) == 0 {
@@ -384,13 +473,11 @@ func SweepCells(cells []CellWork, workers int) ([]Cell, error) {
 		}
 		groups[i] = g
 	}
-	return sweepGroups(groups, workers)
+	return sweepGroups(groups, opts)
 }
 
-func sweepGroups(groups []*cellGroup, workers int) ([]Cell, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+func sweepGroups(groups []*cellGroup, opts SweepOptions) ([]Cell, error) {
+	opts = opts.normalized()
 	type cellErr struct {
 		idx int // scenario index, for deterministic error attribution
 		sc  Scenario
@@ -406,8 +493,12 @@ func sweepGroups(groups []*cellGroup, workers int) ([]Cell, error) {
 		work <- i
 	}
 	close(work)
+	// Captured as individual locals, not via opts, so the options struct
+	// does not escape into the worker closures (the plain sweep path's
+	// allocation count is pinned by BENCH_engine.json).
+	fingerprint, onFlag, saturateAfter := opts.Fingerprint, opts.OnFlag, opts.SaturateAfter
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -416,14 +507,29 @@ func sweepGroups(groups []*cellGroup, workers int) ([]Cell, error) {
 				g := groups[gi]
 				acc := newCellAccum(len(g.scs))
 				ok := true
+				stale := 0
 				for k, s := range g.scs {
-					o, err := r.run(s)
+					o, fp, err := r.run(s, fingerprint)
 					if err != nil {
 						errs[gi] = cellErr{idx: g.idxs[k], sc: s, err: err}
 						ok = false
 						break
 					}
-					acc.add(o)
+					fresh := acc.add(o, fp, fingerprint)
+					if onFlag != nil {
+						if v := o.Violation(); v != nil {
+							onFlag(FlaggedRun{Cell: gi, Run: k, Scenario: s, Violation: v, Fingerprint: fp})
+						}
+					}
+					if saturateAfter > 0 {
+						if fresh {
+							stale = 0
+						} else if stale++; stale >= saturateAfter {
+							// Coverage saturated: the remaining seeds would
+							// almost surely re-exercise known orderings.
+							break
+						}
+					}
 				}
 				if ok {
 					cells[gi] = acc.finish()
