@@ -67,4 +67,51 @@
 // minimized wPAXOS liveness stall and the campaign-found floodpaxos
 // leader-death stall under internal/harness/testdata/ are the first
 // artifacts found this way (see ROADMAP.md for both root-cause analyses).
+//
+// # Determinism contract
+//
+// Everything above leans on one invariant: a (scenario, seed) pair fully
+// determines an execution — byte-identical schedule replay, golden cell
+// JSON, campaign reports identical at any worker count. The contract is
+// enforced statically by cmd/detlint (a standard-library multichecker
+// over the internal/lint analyzer suite; `go run ./cmd/detlint ./...`
+// must exit 0 and CI runs it on every push), so a violation is rejected
+// at review time instead of surfacing as a flaky golden test later. The
+// rules:
+//
+//   - norawrand: in the deterministic core (internal/sim, graph, harness,
+//     explore, baseline, ext) randomness must flow through a *rand.Rand
+//     constructed as rand.New(rand.NewSource(seed)) from a scenario- or
+//     search-seed derivation. Global math/rand functions, opaque sources
+//     and wall-clock seeds are rejected.
+//   - nowallclock: no time.Now/Since/Until anywhere under internal/
+//     except the wall-clock substrates internal/live and internal/netmac;
+//     simulated time is the event queue's logical clock.
+//   - maporder: a `range` over a map must not feed an order-sensitive
+//     sink (encoding/json, fmt output, hash writes, or an append whose
+//     slice the function returns). Collect the keys, sort them, iterate
+//     the slice — or annotate (below).
+//   - goroutineorder: worker goroutines (a `go` literal, or a literal
+//     handed to a pool submit method) publish results only into
+//     pre-addressed slots (results[i] = ...) or channels whose consumer
+//     reduces in candidate order — never by appending to, or mutating,
+//     captured state, mutex or not (mutexes serialize, they don't order).
+//
+// Justified exceptions to the two order rules carry an audited
+// annotation on (or directly above) the flagged line:
+//
+//	//lint:deterministic <why iteration/publication order cannot be observed>
+//
+// The reason is part of the contract — reviewers grep for the tag.
+// norawrand and nowallclock have no annotation escape on purpose: their
+// exceptions are whole packages (the scope lists above), not lines.
+// Seed-derivation hygiene, audited with the suite's introduction: the
+// scheduler consumes the scenario seed directly, overlay construction
+// uses seed*1000003+17, per-delivery loss coins seed*6700417+257,
+// minorityrand crashes seed*2654435761+97, and ben-or decorrelates per
+// node — distinct affine maps, so no two consumers ever walk the same
+// stream. Each analyzer's package doc states its precise rule; fixtures
+// under internal/lint/*/testdata pin both the findings and the escape
+// hatches, and `detlint -fix` inserts annotation skeletons for human
+// audit.
 package absmac

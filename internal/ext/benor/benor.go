@@ -131,7 +131,11 @@ func NewFactory(cfg Config) amac.Factory {
 // Start implements amac.Algorithm.
 func (a *Node) Start(api amac.API) {
 	a.api = api
-	a.rng = rand.New(rand.NewSource(a.cfg.Seed*1000003 + int64(api.ID())))
+	// Affine map distinct from every other seed consumer in the tree
+	// (overlay seed*1000003+17, loss coins seed*6700417+257, minorityrand
+	// crashes seed*2654435761+97): the previous seed*1000003+ID derivation
+	// made node 17's coins walk the overlay builder's exact stream.
+	a.rng = rand.New(rand.NewSource(a.cfg.Seed*7368787 + int64(api.ID())*1299721 + 31))
 	if a.cfg.N == 1 {
 		a.decideNow(a.x)
 		return

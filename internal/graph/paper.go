@@ -1,6 +1,9 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // This file constructs the lower-bound networks from the paper.
 //
@@ -248,11 +251,18 @@ func (f *Figure1) VerifyCoverProperty() error {
 			if len(seen) != len(want) {
 				return fmt.Errorf("graph: cover property: node copy=%d local=%d touches %d classes, want %d", i, l, len(seen), len(want))
 			}
-			for nl, cnt := range seen {
+			// Sorted so the first violated class — and thus the error
+			// text — is the same on every run.
+			classes := make([]int, 0, len(seen))
+			for nl := range seen {
+				classes = append(classes, nl)
+			}
+			sort.Ints(classes)
+			for _, nl := range classes {
 				if !want[nl] {
 					return fmt.Errorf("graph: cover property: node copy=%d local=%d adjacent to unexpected class %d", i, l, nl)
 				}
-				if cnt != 1 {
+				if cnt := seen[nl]; cnt != 1 {
 					return fmt.Errorf("graph: cover property: node copy=%d local=%d has %d neighbors in class %d, want 1", i, l, cnt, nl)
 				}
 			}

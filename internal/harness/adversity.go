@@ -240,6 +240,12 @@ func NewOverlay(spec string, base *graph.Graph, seed int64) (*graph.Graph, float
 // which consumes the scenario seed directly; lossySeed decorrelates the
 // per-delivery coin flips from both, so the overlay's shape and its
 // delivery luck vary independently across the seed axis.
+//
+// Every affine seed map in the tree must be distinct (doc.go,
+// "Determinism contract"): these two, minorityrand's seed*2654435761+97
+// above, and ben-or's per-node seed*7368787 + ID*1299721 + 31 — pick a
+// fresh multiplier when adding a consumer, or two "independent" streams
+// will silently walk the same sequence.
 func overlaySeed(seed int64) int64 { return seed*1000003 + 17 }
 
 func lossySeed(seed int64) int64 { return seed*6700417 + 257 }

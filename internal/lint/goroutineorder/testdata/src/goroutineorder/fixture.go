@@ -1,0 +1,132 @@
+// Package goroutineorder is the analyzer fixture: every `want` comment
+// pins a diagnostic, every bare line pins its absence. The indexed/
+// channeled functions pin the two sanctioned publication patterns and
+// justified pins the annotation escape hatch.
+package goroutineorder
+
+import "sync"
+
+// indexed is the sanctioned pattern: each worker owns a pre-addressed
+// slot, so result order is fixed by the submitter regardless of
+// interleaving (the sweep/pool/shrink convention).
+func indexed(items []int) []int {
+	results := make([]int, len(items))
+	var wg sync.WaitGroup
+	for i, it := range items {
+		wg.Add(1)
+		go func(i, it int) {
+			defer wg.Done()
+			results[i] = it * 2
+		}(i, it)
+	}
+	wg.Wait()
+	return results
+}
+
+// channeled is the other sanctioned pattern: workers send, the consumer
+// imposes its own order.
+func channeled(items []int) int {
+	ch := make(chan int, len(items))
+	for _, it := range items {
+		go func(it int) { ch <- it * 2 }(it)
+	}
+	total := 0
+	for range items {
+		total += <-ch
+	}
+	return total
+}
+
+func appended(items []int) []int {
+	var results []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) {
+			defer wg.Done()
+			// The mutex makes this race-free but not order-free: element
+			// order still depends on goroutine interleaving.
+			mu.Lock()
+			results = append(results, it*2) // want `append to "results" captured`
+			mu.Unlock()
+		}(it)
+	}
+	wg.Wait()
+	return results
+}
+
+func scalar() int {
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			total += i // want `write to "total" captured`
+		}(i)
+	}
+	wg.Wait()
+	return total
+}
+
+func mapped(keys []string) map[string]bool {
+	seen := map[string]bool{}
+	var wg sync.WaitGroup
+	for _, k := range keys {
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			seen[k] = true // want `captured map "seen"`
+		}(k)
+	}
+	wg.Wait()
+	return seen
+}
+
+func pointer(p *int) {
+	go func() {
+		*p = 1 // want `captured pointer "p"`
+	}()
+}
+
+type result struct{ n int }
+
+func field(r *result) {
+	go func() {
+		r.n = 2 // want `field write on "r" captured`
+	}()
+}
+
+// pool mimics the explore evalPool submission convention: a function
+// literal handed to submit runs on a worker goroutine.
+type pool struct{ tasks chan func() }
+
+func (p *pool) submit(fn func()) { p.tasks <- fn }
+
+func viaPool(p *pool, items []int) []int {
+	out := make([]int, len(items))
+	var bad []int
+	for i, it := range items {
+		i, it := i, it
+		p.submit(func() {
+			out[i] = it           // index-addressed: sanctioned
+			bad = append(bad, it) // want `append to "bad" captured`
+			out[i] = len(bad)     // index-addressed: sanctioned
+		})
+	}
+	return out
+}
+
+// justified pins the annotation escape hatch: a single closure joined
+// before the result is read is ordered by the join edge.
+func justified(r *result) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		//lint:deterministic single goroutine, joined before any read
+		r.n = 7
+	}()
+	wg.Wait()
+}

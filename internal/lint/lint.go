@@ -1,0 +1,26 @@
+// Package lint assembles the determinism-contract analyzer suite.
+//
+// The contract itself — what the analyzers enforce and how to annotate a
+// justified exception — is documented in the repository's root doc.go
+// ("Determinism contract") and, per rule, in each analyzer package's doc.
+// cmd/detlint is the multichecker front-end; internal/lint/linttest runs
+// the committed fixtures.
+package lint
+
+import (
+	"github.com/absmac/absmac/internal/lint/analysis"
+	"github.com/absmac/absmac/internal/lint/goroutineorder"
+	"github.com/absmac/absmac/internal/lint/maporder"
+	"github.com/absmac/absmac/internal/lint/norawrand"
+	"github.com/absmac/absmac/internal/lint/nowallclock"
+)
+
+// Analyzers returns the full determinism suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		goroutineorder.Analyzer,
+		maporder.Analyzer,
+		norawrand.Analyzer,
+		nowallclock.Analyzer,
+	}
+}

@@ -1,0 +1,43 @@
+package maporder_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/absmac/absmac/internal/lint/analysis"
+	"github.com/absmac/absmac/internal/lint/linttest"
+	"github.com/absmac/absmac/internal/lint/maporder"
+)
+
+func TestFixture(t *testing.T) {
+	diags, fset := linttest.Run(t, "testdata/src/maporder", maporder.Analyzer)
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+
+	// Every maporder finding carries the annotate-skeleton suggested fix;
+	// applying one must insert a correctly indented justification line
+	// directly above the flagged range statement.
+	d := diags[0]
+	if len(d.SuggestedFixes) != 1 || len(d.SuggestedFixes[0].TextEdits) != 1 {
+		t.Fatalf("want exactly one suggested fix with one edit, got %+v", d.SuggestedFixes)
+	}
+	edit := d.SuggestedFixes[0].TextEdits[0]
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "maporder", "fixture.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All edits in this fixture are pure insertions (Pos == End) at a
+	// line start inside fixture.go; apply in memory.
+	if edit.Pos != edit.End {
+		t.Fatalf("annotate fix should be an insertion, got [%d,%d)", edit.Pos, edit.End)
+	}
+	off := fset.Position(edit.Pos).Offset
+	fixed := string(src[:off]) + string(edit.NewText) + string(src[off:])
+	wantLine := "\t" + analysis.DeterministicTag + " FIXME: explain why this order cannot be observed\n\tfor "
+	if !strings.Contains(fixed, wantLine) {
+		t.Errorf("applied fix does not insert an indented justification above the range:\n%s", fixed)
+	}
+}

@@ -1,0 +1,78 @@
+// Package maporder is the analyzer fixture: every `want` comment pins a
+// diagnostic, every bare line pins its absence. The keys/annotated
+// functions pin the two escape hatches (collect-then-sort and the
+// justification comment).
+package maporder
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+func printAll(m map[string]int) {
+	for k, v := range m { // want `feeds fmt output`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func marshalEach(m map[string]int) [][]byte {
+	var out [][]byte
+	for _, v := range m { // want `encoding/json`
+		b, _ := json.Marshal(v)
+		out = append(out, b)
+	}
+	return out
+}
+
+func hashAll(m map[string]int) uint64 {
+	h := fnv.New64a()
+	for k := range m { // want `a hash`
+		h.Write([]byte(k))
+	}
+	return h.Sum64()
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var ks []string
+	for k := range m { // want `returned unsorted`
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func earlyAppend(m map[string]int, acc []string) []string {
+	for k := range m { // want `append returned from inside the loop`
+		return append(acc, k)
+	}
+	return acc
+}
+
+// keys is the canonical collect-then-sort idiom: the appended slice is
+// sorted before it escapes, so the map's order is laundered away.
+func keys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// count is an order-insensitive reduction: no sink, no finding.
+func count(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// annotated pins the justification escape hatch.
+func annotated(m map[string]int) {
+	//lint:deterministic every value prints the same line, so order is unobservable
+	for _, v := range m {
+		fmt.Println(v)
+	}
+}

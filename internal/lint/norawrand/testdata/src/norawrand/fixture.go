@@ -1,0 +1,44 @@
+// Package norawrand is the analyzer fixture: every `want` comment pins a
+// diagnostic, every bare line pins its absence.
+package norawrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraw() int {
+	return rand.Intn(10) // want `global rand source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand source`
+}
+
+func globalPerm(n int) []int {
+	return rand.Perm(n) // want `global rand source`
+}
+
+// seeded is the sanctioned pattern: the seed derivation is visible at the
+// construction site.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1000003 + 17))
+}
+
+// derived methods on an already-constructed *rand.Rand are the sanctioned
+// API; only the construction site is policed.
+func derived(r *rand.Rand) int {
+	return r.Intn(3)
+}
+
+func opaqueSource(src rand.Source) *rand.Rand {
+	return rand.New(src) // want `opaque source`
+}
+
+func wallClockNew() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `wall-clock-seeded`
+}
+
+func wallClockSource() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) // want `wall-clock-seeded`
+}

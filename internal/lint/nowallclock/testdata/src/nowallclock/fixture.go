@@ -1,0 +1,25 @@
+// Package nowallclock is the analyzer fixture: every `want` comment pins
+// a diagnostic, every bare line pins its absence.
+package nowallclock
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want `wall clock`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	d := time.Since(t0) // want `wall clock`
+	_ = time.Until(t0)  // want `wall clock`
+	return d
+}
+
+// logical arithmetic on simulated timestamps is the sanctioned pattern.
+func logical(now, fack int64) int64 {
+	return now + fack
+}
+
+// Duration constants and conversions never read the clock.
+func timeout() time.Duration {
+	return 250 * time.Millisecond
+}
