@@ -42,7 +42,12 @@
 //     schedulers: sync | random | maxdelay | edgeorder;
 //     inputs: alternating | zeros | ones | half).
 //   - -topos: comma-separated topology specs — clique:N, line:N, ring:N,
-//     star:N, grid:RxC, tree:BxD, starlines:AxL, random:N:P.
+//     star:N, grid:RxC, tree:BxD, starlines:AxL, random:N:P,
+//     expander:N:D (seeded random D-regular; needs 3 <= D < N, N*D
+//     even), pods:P:K:C (P ring-pods of K nodes joined by C cross
+//     links per pod). The two seeded sparse families are degree-bounded
+//     and built for large n — expander:4096:8 and pods:64:64:4 sweep
+//     comfortably.
 //   - -facks: comma-separated positive integers.
 //   - -crashes: comma-separated crash patterns, grammar name[@T] — none,
 //     one@T (highest-index node crashes at T), coordinator (node 0
@@ -82,7 +87,8 @@
 // while effective_fack is the bound the scheduler actually declared (they
 // differ for edgeorder, whose bound is structural) and normalizes
 // decide_per_fack, diameter is the median topology diameter across seeds
-// (seed-dependent only for random:N:P), broadcasts/deliveries summarize
+// (seed-dependent only for the seeded families random:N:P, expander:N:D
+// and pods:P:K:C), broadcasts/deliveries summarize
 // MAC-layer message counts, and errors lists the distinct consensus
 // violations seen in the cell (absent when none). Consensus properties are
 // judged over survivors: a crashed node owes nothing. Without -json the

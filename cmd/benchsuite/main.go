@@ -4,6 +4,13 @@
 // scenario grid — every registered algorithm crossed with the topology,
 // scheduler and Fack axes — in parallel through internal/harness.
 //
+// The grid's topology zoo covers every registered family (grammar in
+// cmd/amacsim's package doc): clique:N, line:N, ring:N, star:N, grid:RxC,
+// tree:BxD, starlines:AxL, random:N:P, and the degree-bounded sparse
+// families expander:N:D and pods:P:K:C at small parameters — their
+// large-n shapes live in internal/sim's BenchmarkBroadcastPlanLarge tier
+// and the CI large-n smoke instead.
+//
 // Usage:
 //
 //	benchsuite [-only E6] [-q]            experiments
@@ -108,6 +115,10 @@ func canonicalGrids() []harness.Grid {
 		Facks:  []int64{2, 8},
 		Seeds:  seeds,
 	}
+	// The sparse families run here at small parameters so every registered
+	// topology kind appears in the canonical grid (their large-n shapes —
+	// expander:4096:8, pods:64:64:4 — belong to the bench tier and the CI
+	// large-n smoke, not an 8-seed correctness grid).
 	multihop := harness.Grid{
 		Algos: []string{"wpaxos", "floodpaxos", "gatherall"},
 		Topos: []harness.Topo{
@@ -117,6 +128,8 @@ func canonicalGrids() []harness.Grid {
 			{Kind: "tree", Branch: 2, Depth: 3},
 			{Kind: "starlines", Arms: 4, ArmLen: 2},
 			{Kind: "random", N: 16, P: 0.15},
+			{Kind: "expander", N: 16, Deg: 4},
+			{Kind: "pods", Pods: 4, PodSize: 4, Cross: 2},
 		},
 		Scheds: []string{"sync", "random", "maxdelay"},
 		Facks:  []int64{2, 8},

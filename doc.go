@@ -108,10 +108,40 @@
 // Seed-derivation hygiene, audited with the suite's introduction: the
 // scheduler consumes the scenario seed directly, overlay construction
 // uses seed*1000003+17, per-delivery loss coins seed*6700417+257,
-// minorityrand crashes seed*2654435761+97, and ben-or decorrelates per
-// node — distinct affine maps, so no two consumers ever walk the same
-// stream. Each analyzer's package doc states its precise rule; fixtures
-// under internal/lint/*/testdata pin both the findings and the escape
-// hatches, and `detlint -fix` inserts annotation skeletons for human
-// audit.
+// minorityrand crashes seed*2654435761+97, the seeded topology builders
+// use seed*9176741+389 (expander) and seed*15485863+577 (pods), and
+// ben-or decorrelates per node — distinct affine maps, so no two
+// consumers ever walk the same stream. Each analyzer's package doc
+// states its precise rule; fixtures under internal/lint/*/testdata pin
+// both the findings and the escape hatches, and `detlint -fix` inserts
+// annotation skeletons for human audit.
+//
+// # Scale
+//
+// The simulator is sized for n in the 10^3..10^4 range, not just the
+// paper's small worked examples. Three layers carry the load:
+//
+//   - internal/graph stores adjacency in flat CSR arrays (one offsets
+//     slice, one packed neighbor slice) rebuilt lazily from an
+//     insertion-ordered edge log, with an O(1) edge-set behind AddEdge
+//     and HasEdge during construction and binary search on sorted rows
+//     after. Row order is part of the determinism contract — the random
+//     scheduler draws per-neighbor delivery times by row index — so the
+//     CSR reproduces exact insertion order, families built by
+//     graph.FromEdges are sorted by construction, and Diameter switches
+//     from the exact all-pairs BFS to a bounded-effort double-sweep +
+//     iFUB lower-bound certificate past 512 nodes.
+//   - internal/sim keeps node runtime state structure-of-arrays: flat
+//     slices per field, decisions living directly in the reusable
+//     Result, and per-node amac.API values pre-boxed at Reset so a run
+//     performs no per-node interface allocation. Steady-state allocs/op
+//     on a reused engine are independent of n (BenchmarkBroadcastPlanLarge
+//     pins this at n=1024 and n=4096; BENCH_engine.json records the
+//     before/after).
+//   - Two degree-bounded sparse families put large n on sweep axes:
+//     expander:N:D (seeded random D-regular via stub pairing with
+//     conflict repair) and pods:P:K:C (an Octopus-style mesh of P
+//     k-node ring pods joined by C cross links per pod). Degree stays
+//     fixed as n grows, which is the regime where the abstract MAC
+//     layer's per-broadcast costs stay flat.
 package absmac

@@ -136,12 +136,9 @@ func RandomOverlay(g *Graph, extra int, seed int64) *Graph {
 	if extra > len(nonEdges) {
 		extra = len(nonEdges)
 	}
-	o := New(n)
-	for _, e := range nonEdges[:extra] {
-		o.AddEdge(e[0], e[1])
-	}
-	o.Sort()
-	return o
+	// Canonical emission yields the same sorted adjacency rows the old
+	// build-then-Sort pass produced, without the extra O(m log d) pass.
+	return FromEdges(n, nonEdges[:extra])
 }
 
 // RandomConnected returns a random connected graph on n nodes: a uniform

@@ -166,16 +166,23 @@ var overlayFamilies = map[string]func(arg string, base *graph.Graph, seed int64)
 			return nil, fmt.Errorf("harness: chords takes no parameter")
 		}
 		n := base.N()
-		o := graph.New(n)
+		var chords [][2]int
+		seen := map[[2]int]bool{}
 		for u := 0; u < n; u++ {
 			v := (u + n/2) % n
-			if v == u || base.HasEdge(u, v) || o.HasEdge(u, v) {
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			if v == u || base.HasEdge(u, v) || seen[[2]int{a, b}] {
 				continue
 			}
-			o.AddEdge(u, v)
+			seen[[2]int{a, b}] = true
+			chords = append(chords, [2]int{u, v})
 		}
-		o.Sort()
-		return o, nil
+		// FromEdges emits the chords in canonical order, reproducing the
+		// sorted rows the old build-then-Sort pass returned.
+		return graph.FromEdges(n, chords), nil
 	},
 }
 
@@ -243,9 +250,11 @@ func NewOverlay(spec string, base *graph.Graph, seed int64) (*graph.Graph, float
 //
 // Every affine seed map in the tree must be distinct (doc.go,
 // "Determinism contract"): these two, minorityrand's seed*2654435761+97
-// above, and ben-or's per-node seed*7368787 + ID*1299721 + 31 — pick a
-// fresh multiplier when adding a consumer, or two "independent" streams
-// will silently walk the same sequence.
+// above, the seeded topology builders' expanderSeed (seed*9176741+389)
+// and podsSeed (seed*15485863+577) in topo.go, and ben-or's per-node
+// seed*7368787 + ID*1299721 + 31 — pick a fresh multiplier when adding a
+// consumer, or two "independent" streams will silently walk the same
+// sequence.
 func overlaySeed(seed int64) int64 { return seed*1000003 + 17 }
 
 func lossySeed(seed int64) int64 { return seed*6700417 + 257 }

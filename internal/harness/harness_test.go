@@ -73,6 +73,7 @@ func TestParseTopoRoundTrip(t *testing.T) {
 	for _, spec := range []string{
 		"clique:8", "line:5", "ring:6", "star:7",
 		"grid:3x4", "tree:2x3", "starlines:4x2", "random:12:0.1",
+		"expander:16:4", "pods:4:5:2",
 	} {
 		tp, err := ParseTopo(spec)
 		if err != nil {
@@ -91,6 +92,7 @@ func TestParseTopoErrors(t *testing.T) {
 	for _, spec := range []string{
 		"", "clique", "clique:", "clique:x", "clique:3:4",
 		"grid:3", "grid:3x", "grid:ax2", "tree:22", "random:5", "random:5:x", "mesh:4",
+		"expander:16", "expander:16:x", "expander:16:4:2", "pods:4:5", "pods:4:5:x", "pods:a:5:2",
 	} {
 		if _, err := ParseTopo(spec); err == nil {
 			t.Errorf("ParseTopo(%q) accepted", spec)
@@ -106,11 +108,93 @@ func TestTopoBuildErrors(t *testing.T) {
 		{Kind: "tree", Branch: 0, Depth: 2},
 		{Kind: "starlines", Arms: 0, ArmLen: 1},
 		{Kind: "random", N: 4, P: 1.5},
+		{Kind: "expander", N: 8, Deg: 2}, // d < 3
+		{Kind: "expander", N: 5, Deg: 3}, // n*d odd
+		{Kind: "expander", N: 4, Deg: 4}, // d >= n
+		{Kind: "pods", Pods: 0, PodSize: 3, Cross: 1},
+		{Kind: "pods", Pods: 3, PodSize: 4, Cross: 0}, // p > 1 needs cross links
 		{Kind: "nope", N: 4},
 	} {
 		if _, err := tp.Build(1); err == nil {
 			t.Errorf("Build(%+v) accepted", tp)
 		}
+	}
+}
+
+// TestEveryFamilyAdjacencyConsistent builds one small instance of every
+// registered topology family and cross-checks the CSR representation
+// against itself: rows symmetric and duplicate-free, degrees and edge
+// count consistent, HasEdge agreeing with row membership on every pair.
+// This is the representation-equivalence guard for the flat CSR storage —
+// any divergence between the packed rows, the degree counters and the
+// edge set shows up here for every family at once.
+func TestEveryFamilyAdjacencyConsistent(t *testing.T) {
+	specs := map[string]string{
+		"clique":    "clique:6",
+		"expander":  "expander:12:3",
+		"grid":      "grid:3x4",
+		"line":      "line:7",
+		"pods":      "pods:3:4:2",
+		"random":    "random:10:0.2",
+		"ring":      "ring:6",
+		"star":      "star:6",
+		"starlines": "starlines:3x2",
+		"tree":      "tree:2x2",
+	}
+	for _, kind := range Topologies() {
+		spec, ok := specs[kind]
+		if !ok {
+			t.Errorf("registered family %q has no consistency spec; add one", kind)
+			continue
+		}
+		tp, err := ParseTopo(spec)
+		if err != nil {
+			t.Fatalf("ParseTopo(%q): %v", spec, err)
+		}
+		g, err := tp.Build(3)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", spec, err)
+		}
+		n := g.N()
+		edges := 0
+		for u := 0; u < n; u++ {
+			row := g.Neighbors(u)
+			if len(row) != g.Degree(u) {
+				t.Errorf("%s: node %d row length %d != degree %d", spec, u, len(row), g.Degree(u))
+			}
+			seen := map[int]bool{}
+			for _, v := range row {
+				if v == u || v < 0 || v >= n {
+					t.Errorf("%s: node %d row holds invalid neighbor %d", spec, u, v)
+				}
+				if seen[v] {
+					t.Errorf("%s: node %d row repeats neighbor %d", spec, u, v)
+				}
+				seen[v] = true
+				edges++
+			}
+			for v := 0; v < n; v++ {
+				if g.HasEdge(u, v) != seen[v] {
+					t.Errorf("%s: HasEdge(%d,%d) = %v disagrees with row membership", spec, u, v, g.HasEdge(u, v))
+				}
+			}
+		}
+		if edges != 2*g.M() {
+			t.Errorf("%s: row entries %d != 2*M = %d (asymmetric rows)", spec, edges, 2*g.M())
+		}
+	}
+
+	// The ring keeps its legacy insertion-order rows (node n-1 closes the
+	// cycle last, so its row is [n-2, 0]): the random scheduler draws
+	// per-neighbor delivery times by row index, and the golden grid pins
+	// executions on ring:5. This assertion fails loudly if anyone "fixes"
+	// the ring to sorted rows.
+	ring, err := Topo{Kind: "ring", N: 5}.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ring.Neighbors(4); !reflect.DeepEqual(got, []int{3, 0}) {
+		t.Errorf("ring:5 node 4 row = %v, want legacy insertion order [3 0] (golden grid depends on it)", got)
 	}
 }
 

@@ -13,9 +13,9 @@ import (
 // set. Topologies marshal to their compact string form in JSON.
 type Topo struct {
 	// Kind is a registered family: clique | line | ring | star | grid |
-	// tree | starlines | random.
+	// tree | starlines | random | expander | pods.
 	Kind string
-	// N is the node count for clique/line/ring/star/random.
+	// N is the node count for clique/line/ring/star/random/expander.
 	N int
 	// Rows and Cols shape grids.
 	Rows, Cols int
@@ -25,11 +25,16 @@ type Topo struct {
 	Arms, ArmLen int
 	// P is the random family's edge probability.
 	P float64
+	// Deg is the expander family's degree.
+	Deg int
+	// Pods, PodSize and Cross shape the multi-pod sparse mesh: Pods pods
+	// of PodSize nodes with Cross cross-pod links per pod.
+	Pods, PodSize, Cross int
 }
 
 // Topologies returns the registered topology family names, sorted.
 func Topologies() []string {
-	return []string{"clique", "grid", "line", "random", "ring", "star", "starlines", "tree"}
+	return []string{"clique", "expander", "grid", "line", "pods", "random", "ring", "star", "starlines", "tree"}
 }
 
 // ParseTopo parses the compact topology grammar used by sweep flags:
@@ -37,13 +42,16 @@ func Topologies() []string {
 //	clique:N  line:N  ring:N  star:N       one size parameter
 //	grid:RxC  tree:BxD  starlines:AxL      two, separated by 'x'
 //	random:N:P                             size and edge probability
+//	expander:N:D                           seeded random D-regular graph
+//	pods:P:K:C                             P pods of K nodes, C cross links
 //
-// Examples: "clique:16", "grid:4x4", "tree:2x3", "random:24:0.1".
+// Examples: "clique:16", "grid:4x4", "tree:2x3", "random:24:0.1",
+// "expander:1024:8", "pods:16:64:4".
 func ParseTopo(s string) (Topo, error) {
 	parts := strings.Split(s, ":")
 	kind := parts[0]
 	bad := func() (Topo, error) {
-		return Topo{}, fmt.Errorf("harness: cannot parse topology %q (grammar: kind:N, kind:AxB or random:N:P; kinds %v)", s, Topologies())
+		return Topo{}, fmt.Errorf("harness: cannot parse topology %q (grammar: kind:N, kind:AxB, random:N:P, expander:N:D or pods:P:K:C; kinds %v)", s, Topologies())
 	}
 	one := func() (int, bool) {
 		if len(parts) != 2 {
@@ -99,6 +107,27 @@ func ParseTopo(s string) (Topo, error) {
 			return bad()
 		}
 		return Topo{Kind: kind, N: n, P: p}, nil
+	case "expander":
+		if len(parts) != 3 {
+			return bad()
+		}
+		n, err1 := strconv.Atoi(parts[1])
+		d, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			return bad()
+		}
+		return Topo{Kind: kind, N: n, Deg: d}, nil
+	case "pods":
+		if len(parts) != 4 {
+			return bad()
+		}
+		p, err1 := strconv.Atoi(parts[1])
+		k, err2 := strconv.Atoi(parts[2])
+		c, err3 := strconv.Atoi(parts[3])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return bad()
+		}
+		return Topo{Kind: kind, Pods: p, PodSize: k, Cross: c}, nil
 	default:
 		return bad()
 	}
@@ -115,6 +144,10 @@ func (t Topo) String() string {
 		return fmt.Sprintf("starlines:%dx%d", t.Arms, t.ArmLen)
 	case "random":
 		return fmt.Sprintf("random:%d:%g", t.N, t.P)
+	case "expander":
+		return fmt.Sprintf("expander:%d:%d", t.N, t.Deg)
+	case "pods":
+		return fmt.Sprintf("pods:%d:%d:%d", t.Pods, t.PodSize, t.Cross)
 	default:
 		return fmt.Sprintf("%s:%d", t.Kind, t.N)
 	}
@@ -184,6 +217,16 @@ func (t Topo) Build(seed int64) (*graph.Graph, error) {
 			return nil, fmt.Errorf("harness: %s needs n >= 1 and p in [0,1]", t)
 		}
 		return graph.RandomConnected(t.N, t.P, seed), nil
+	case "expander":
+		if t.Deg < 3 || t.Deg >= t.N || t.N*t.Deg%2 != 0 {
+			return nil, fmt.Errorf("harness: %s needs 3 <= d < n with n*d even", t)
+		}
+		return graph.Expander(t.N, t.Deg, expanderSeed(seed)), nil
+	case "pods":
+		if t.Pods < 1 || t.PodSize < 1 || t.Cross < 0 || (t.Pods > 1 && t.Cross < 1) {
+			return nil, fmt.Errorf("harness: %s needs p, k >= 1 and c >= 1 when p > 1", t)
+		}
+		return graph.Pods(t.Pods, t.PodSize, t.Cross, podsSeed(seed)), nil
 	default:
 		return nil, fmt.Errorf("harness: unknown topology kind %q (have %v)", t.Kind, Topologies())
 	}
@@ -195,3 +238,11 @@ func checkN(mk func(int) *graph.Graph, t Topo) (*graph.Graph, error) {
 	}
 	return mk(t.N), nil
 }
+
+// expanderSeed and podsSeed decorrelate the seeded topology builders from
+// the scheduler (which consumes the scenario seed directly) and from each
+// other. They are part of the affine seed-map registry kept beside
+// overlaySeed in adversity.go: every map there must stay distinct.
+func expanderSeed(seed int64) int64 { return seed*9176741 + 389 }
+
+func podsSeed(seed int64) int64 { return seed*15485863 + 577 }

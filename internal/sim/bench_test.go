@@ -25,6 +25,61 @@ func BenchmarkBroadcastPlanUnreliable(b *testing.B) {
 	benchBroadcast(b, g, graph.RandomOverlay(g, 24, 7))
 }
 
+// BenchmarkBroadcastPlanLarge is the large-n tier of the broadcast bench:
+// the same chatter workload on the sparse degree-bounded families worth
+// simulating at n=10^3..10^4 (seeded random 8-regular expanders and
+// Octopus-style multi-pod meshes). Setup — topology construction, engine
+// Reset, per-node algorithm allocation — happens outside the timer, so
+// the measured region is the steady-state event loop alone and allocs/op
+// must stay independent of n (the freelist and plan buffer, not the
+// allocator, feed every broadcast).
+func BenchmarkBroadcastPlanLarge(b *testing.B) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"expander-1024", graph.Expander(1024, 8, 1)},
+		{"expander-4096", graph.Expander(4096, 8, 1)},
+		{"pods-1024", graph.Pods(16, 64, 4, 1)},
+		{"pods-4096", graph.Pods(64, 64, 4, 1)},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			ins := make([]amac.Value, tc.g.N())
+			// One message boxed up front and shared by every node: the
+			// timed region must measure the engine's event loop, not n
+			// interface conversions in the test algorithm.
+			msg := amac.Message(testMsg{tag: "chatter"})
+			factory := func(amac.NodeConfig) amac.Algorithm { return &chatterAlg{msg: msg} }
+			e := NewEngine(Config{
+				Graph:     tc.g,
+				Inputs:    ins,
+				Factory:   factory,
+				Scheduler: NewRandom(8, 42),
+				MaxEvents: 50_000,
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				e.Reset(Config{
+					Graph:     tc.g,
+					Inputs:    ins,
+					Factory:   factory,
+					Scheduler: NewRandom(8, 42),
+					MaxEvents: 50_000,
+				})
+				b.StartTimer()
+				res := e.Run()
+				if !res.Cutoff {
+					b.Fatalf("chatter workload terminated after %d events", res.Events)
+				}
+				b.ReportMetric(float64(res.Broadcasts), "broadcasts/op")
+			}
+		})
+	}
+}
+
 func benchBroadcast(b *testing.B, g, u *graph.Graph) {
 	ins := make([]amac.Value, g.N())
 	factory := func(amac.NodeConfig) amac.Algorithm { return &chatterAlg{} }

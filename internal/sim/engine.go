@@ -6,33 +6,39 @@ import (
 	"github.com/absmac/absmac/internal/amac"
 )
 
-// nodeState holds the engine-side runtime state of one node.
-type nodeState struct {
-	alg      amac.Algorithm
-	id       amac.NodeID
-	inflight bool // a broadcast is awaiting its ack
-	inMsg    amac.Message
-	bseq     int // next broadcast sequence number
-	crashAt  int64
-	crashed  bool
-	decided  bool
-	decision amac.Value
-	decideAt int64
-}
-
 // Engine executes configurations on a reusable arena: Reset re-arms the
-// same engine for a new configuration, keeping the node-state slice, the
+// same engine for a new configuration, keeping the node-state arrays, the
 // Result slices, the delivery-plan buffer, the event-queue backing array
 // and the event freelist from the previous run. A sweep worker that runs
 // the seeds of one cell back to back on one Engine pays the engine's
 // allocation cost once per cell instead of once per seed.
 //
+// Node runtime state is stored structure-of-arrays: one flat slice per
+// field (algorithm, id, in-flight broadcast, crash time) instead of one
+// []struct with pointer-y interiors. Reset then re-arms a field with one
+// clear()/copy pass, the per-event cache footprint is a few dense arrays
+// instead of strided struct loads, and decision state lives directly in
+// the Result slices (Decided/Decision/DecideTime/Crashed) rather than
+// being mirrored per node. The per-node amac.API values are pre-boxed
+// into the apis slice once per Reset, so starting n nodes performs no
+// interface-conversion allocation — at n=10^4 that was the last O(n)
+// allocation on the run path.
+//
 // The Result returned by Run is owned by the engine and valid only until
 // the next Reset; callers that retain results across runs must copy them.
 // The one-shot Run function keeps its allocate-per-call semantics.
 type Engine struct {
-	cfg    Config
-	nodes  []nodeState
+	cfg Config
+
+	// Structure-of-arrays node state, all indexed by node.
+	algs     []amac.Algorithm
+	apis     []api
+	ids      []amac.NodeID
+	inflight []bool // a broadcast is awaiting its ack
+	inMsg    []amac.Message
+	bseq     []int // next broadcast sequence number
+	crashAt  []int64
+
 	q      eventQueue
 	nexts  int64 // next event seq
 	now    int64
@@ -45,25 +51,27 @@ type Engine struct {
 	free []*event
 }
 
-// api implements amac.API for one node.
+// api implements amac.API for one node. Engine.Reset pre-boxes one per
+// node in e.apis; the *api pointer converts to the interface without
+// allocating.
 type api struct {
 	e    *Engine
 	node int
 }
 
-func (a api) ID() amac.NodeID { return a.e.nodes[a.node].id }
+func (a *api) ID() amac.NodeID { return a.e.ids[a.node] }
 
-func (a api) Now() int64 { return a.e.now }
+func (a *api) Now() int64 { return a.e.now }
 
-func (a api) Broadcast(m amac.Message) bool {
+func (a *api) Broadcast(m amac.Message) bool {
 	return a.e.broadcast(a.node, m)
 }
 
-func (a api) Decide(v amac.Value) {
+func (a *api) Decide(v amac.Value) {
 	a.e.decide(a.node, v)
 }
 
-var _ amac.API = api{}
+var _ amac.API = (*api)(nil)
 
 // NewEngine returns an engine armed with cfg, ready to Run. Like Run, it
 // panics on configuration errors (use Config.Validate to check first).
@@ -96,14 +104,34 @@ func (e *Engine) Reset(cfg Config) {
 		e.maxEvt = DefaultMaxEvents
 	}
 
-	if cap(e.nodes) >= n {
-		// Zero the tail beyond n so a shrink does not pin the prior
-		// run's algorithm state through stale alg references.
-		clear(e.nodes[n:cap(e.nodes)])
-		e.nodes = e.nodes[:n]
+	if cap(e.algs) >= n {
+		// Zero the tails beyond n so a shrink does not pin the prior
+		// run's algorithm state through stale alg/message references.
+		clear(e.algs[n:cap(e.algs)])
+		clear(e.inMsg[n:cap(e.inMsg)])
+		e.algs = e.algs[:n]
+		e.apis = e.apis[:n]
+		e.ids = e.ids[:n]
+		e.inflight = e.inflight[:n]
+		e.inMsg = e.inMsg[:n]
+		e.bseq = e.bseq[:n]
+		e.crashAt = e.crashAt[:n]
+		clear(e.inflight)
+		clear(e.inMsg)
+		clear(e.bseq)
 	} else {
-		e.nodes = make([]nodeState, n)
+		e.algs = make([]amac.Algorithm, n)
+		e.apis = make([]api, n)
+		e.ids = make([]amac.NodeID, n)
+		e.inflight = make([]bool, n)
+		e.inMsg = make([]amac.Message, n)
+		e.bseq = make([]int, n)
+		e.crashAt = make([]int64, n)
 	}
+	for i := range e.crashAt {
+		e.crashAt[i] = -1
+	}
+
 	if e.res == nil || cap(e.res.Decided) < n {
 		e.res = &Result{
 			Decided:    make([]bool, n),
@@ -116,12 +144,10 @@ func (e *Engine) Reset(cfg Config) {
 		e.res.Decision = e.res.Decision[:n]
 		e.res.DecideTime = e.res.DecideTime[:n]
 		e.res.Crashed = e.res.Crashed[:n]
-		for i := 0; i < n; i++ {
-			e.res.Decided[i] = false
-			e.res.Decision[i] = 0
-			e.res.DecideTime[i] = 0
-			e.res.Crashed[i] = false
-		}
+		clear(e.res.Decided)
+		clear(e.res.Decision)
+		clear(e.res.DecideTime)
+		clear(e.res.Crashed)
 	}
 	*e.res = Result{
 		Decided:       e.res.Decided,
@@ -131,7 +157,7 @@ func (e *Engine) Reset(cfg Config) {
 		MaxDecideTime: -1,
 	}
 
-	for i := range e.nodes {
+	for i := 0; i < n; i++ {
 		id := amac.NodeID(i + 1)
 		if cfg.IDs != nil {
 			id = cfg.IDs[i]
@@ -140,12 +166,13 @@ func (e *Engine) Reset(cfg Config) {
 		if alg == nil {
 			panic(fmt.Sprintf("sim: factory returned nil algorithm for node %d", i))
 		}
-		e.nodes[i] = nodeState{id: id, crashAt: -1, alg: alg}
+		e.ids[i] = id
+		e.algs[i] = alg
+		e.apis[i] = api{e: e, node: i}
 	}
 	for _, c := range cfg.Crashes {
-		st := &e.nodes[c.Node]
-		if st.crashAt < 0 || c.At < st.crashAt {
-			st.crashAt = c.At
+		if at := e.crashAt[c.Node]; at < 0 || c.At < at {
+			e.crashAt[c.Node] = c.At
 		}
 	}
 }
@@ -162,7 +189,7 @@ func (e *Engine) observe(ev Event) {
 // broadcast", i.e. between events, so the boundary convention is free; we
 // pick the one that maximizes what a crash can be observed to permit).
 func (e *Engine) crashedBy(i int, t int64) bool {
-	at := e.nodes[i].crashAt
+	at := e.crashAt[i]
 	return at >= 0 && at < t
 }
 
@@ -195,8 +222,7 @@ func (e *Engine) broadcast(u int, m amac.Message) bool {
 	if m == nil {
 		panic(fmt.Sprintf("sim: node %d broadcast a nil message", u))
 	}
-	st := &e.nodes[u]
-	if st.inflight {
+	if e.inflight[u] {
 		e.res.Discards++
 		e.observe(Event{Kind: EventDiscard, Time: e.now, Node: u, Message: m})
 		return false
@@ -207,7 +233,7 @@ func (e *Engine) broadcast(u int, m amac.Message) bool {
 		}
 	}
 	nbrs := e.cfg.Graph.Neighbors(u)
-	b := Broadcast{Sender: u, Seq: st.bseq, Neighbors: nbrs, Now: e.now, Message: m}
+	b := Broadcast{Sender: u, Seq: e.bseq[u], Neighbors: nbrs, Now: e.now, Message: m}
 	if e.cfg.Unreliable != nil {
 		b.Unreliable = e.cfg.Unreliable.Neighbors(u)
 	}
@@ -227,9 +253,9 @@ func (e *Engine) broadcast(u int, m amac.Message) bool {
 	e.cfg.Scheduler.Plan(b, &e.plan)
 	e.validatePlan(b, &e.plan)
 
-	st.inflight = true
-	st.inMsg = m
-	st.bseq++
+	e.inflight[u] = true
+	e.inMsg[u] = m
+	e.bseq[u]++
 	e.res.Broadcasts++
 	e.observe(Event{Kind: EventBroadcast, Time: e.now, Node: u, Message: m})
 
@@ -282,19 +308,15 @@ func (e *Engine) validatePlan(b Broadcast, p *Plan) {
 }
 
 func (e *Engine) decide(u int, v amac.Value) {
-	st := &e.nodes[u]
-	if st.decided {
-		if st.decision != v {
+	if e.res.Decided[u] {
+		if e.res.Decision[u] != v {
 			e.res.Violations = append(e.res.Violations, Violation{
 				Time: e.now, Node: u,
-				Desc: fmt.Sprintf("second decide(%d) after decide(%d): decisions are irrevocable", v, st.decision),
+				Desc: fmt.Sprintf("second decide(%d) after decide(%d): decisions are irrevocable", v, e.res.Decision[u]),
 			})
 		}
 		return
 	}
-	st.decided = true
-	st.decision = v
-	st.decideAt = e.now
 	e.res.Decided[u] = true
 	e.res.Decision[u] = v
 	e.res.DecideTime[u] = e.now
@@ -305,9 +327,8 @@ func (e *Engine) decide(u int, v amac.Value) {
 }
 
 func (e *Engine) allDecided() bool {
-	for i := range e.nodes {
-		st := &e.nodes[i]
-		if !st.decided && !(st.crashAt >= 0 && st.crashAt <= e.now) {
+	for i, decided := range e.res.Decided {
+		if !decided && !(e.crashAt[i] >= 0 && e.crashAt[i] <= e.now) {
 			return false
 		}
 	}
@@ -320,12 +341,12 @@ func (e *Engine) allDecided() bool {
 func (e *Engine) Run() *Result {
 	// Start every node at time 0 in index order. A node scheduled to
 	// crash at time 0 never starts.
-	for i := range e.nodes {
-		if e.nodes[i].crashAt == 0 {
+	for i := range e.algs {
+		if e.crashAt[i] == 0 {
 			e.markCrashed(i)
 			continue
 		}
-		e.nodes[i].alg.Start(api{e: e, node: i})
+		e.algs[i].Start(&e.apis[i])
 	}
 
 	for e.q.len() > 0 {
@@ -359,23 +380,23 @@ func (e *Engine) Run() *Result {
 			}
 			e.res.Deliveries++
 			e.observe(Event{Kind: EventDeliver, Time: e.now, Node: ev.node, Peer: ev.peer, Message: ev.msg})
-			e.nodes[ev.node].alg.OnReceive(ev.msg)
+			e.algs[ev.node].OnReceive(ev.msg)
 		case EventAck:
 			if e.crashedBy(ev.node, ev.time) {
 				e.markCrashed(ev.node)
 				e.release(ev)
 				continue
 			}
-			st := &e.nodes[ev.node]
-			if !st.inflight || st.bseq-1 != ev.bseq {
-				panic(fmt.Sprintf("sim: stray ack for node %d bseq %d", ev.node, ev.bseq))
+			u := ev.node
+			if !e.inflight[u] || e.bseq[u]-1 != ev.bseq {
+				panic(fmt.Sprintf("sim: stray ack for node %d bseq %d", u, ev.bseq))
 			}
-			st.inflight = false
-			msg := st.inMsg
-			st.inMsg = nil
+			e.inflight[u] = false
+			msg := e.inMsg[u]
+			e.inMsg[u] = nil
 			e.res.Acks++
-			e.observe(Event{Kind: EventAck, Time: e.now, Node: ev.node, Message: msg})
-			st.alg.OnAck(msg)
+			e.observe(Event{Kind: EventAck, Time: e.now, Node: u, Message: msg})
+			e.algs[u].OnAck(msg)
 		default:
 			panic(fmt.Sprintf("sim: unexpected queue event kind %v", ev.kind))
 		}
@@ -391,8 +412,8 @@ func (e *Engine) Run() *Result {
 	}
 	// Mark scheduled crashes that were never reached by an event so the
 	// result reflects the configured fault pattern.
-	for i := range e.nodes {
-		if e.nodes[i].crashAt >= 0 {
+	for i := range e.crashAt {
+		if e.crashAt[i] >= 0 {
 			e.markCrashed(i)
 		}
 	}
@@ -400,11 +421,9 @@ func (e *Engine) Run() *Result {
 }
 
 func (e *Engine) markCrashed(i int) {
-	st := &e.nodes[i]
-	if st.crashed {
+	if e.res.Crashed[i] {
 		return
 	}
-	st.crashed = true
 	e.res.Crashed[i] = true
-	e.observe(Event{Kind: EventCrash, Time: st.crashAt, Node: i})
+	e.observe(Event{Kind: EventCrash, Time: e.crashAt[i], Node: i})
 }

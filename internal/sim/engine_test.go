@@ -113,13 +113,12 @@ func TestEngineResetLeavesNoState(t *testing.T) {
 			t.Errorf("freelist event %d retains message %v after Reset", i, ev.msg)
 		}
 	}
-	for i := range e.nodes {
-		st := &e.nodes[i]
-		if st.crashed || st.crashAt >= 0 {
-			t.Errorf("node %d keeps crash state (crashed=%v crashAt=%d) from the prior run", i, st.crashed, st.crashAt)
+	for i := range e.algs {
+		if e.res.Crashed[i] || e.crashAt[i] >= 0 {
+			t.Errorf("node %d keeps crash state (crashed=%v crashAt=%d) from the prior run", i, e.res.Crashed[i], e.crashAt[i])
 		}
-		if st.decided || st.inflight || st.inMsg != nil || st.bseq != 0 {
-			t.Errorf("node %d keeps run state (decided=%v inflight=%v bseq=%d)", i, st.decided, st.inflight, st.bseq)
+		if e.res.Decided[i] || e.inflight[i] || e.inMsg[i] != nil || e.bseq[i] != 0 {
+			t.Errorf("node %d keeps run state (decided=%v inflight=%v bseq=%d)", i, e.res.Decided[i], e.inflight[i], e.bseq[i])
 		}
 	}
 	if e.now != 0 || e.nexts != 0 {

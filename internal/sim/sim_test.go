@@ -43,7 +43,9 @@ type chatterAlg struct {
 
 func (a *chatterAlg) Start(api amac.API) {
 	a.api = api
-	a.msg = testMsg{tag: "chatter"}
+	if a.msg == nil {
+		a.msg = testMsg{tag: "chatter"}
+	}
 	api.Broadcast(a.msg)
 }
 func (a *chatterAlg) OnReceive(amac.Message) {}
