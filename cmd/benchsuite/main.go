@@ -145,19 +145,20 @@ func canonicalGrids() []harness.Grid {
 		Topos:   []harness.Topo{{Kind: "clique", N: 8}},
 		Scheds:  []string{"sync", "random"},
 		Facks:   []int64{4},
-		Crashes: []string{"one@0", "coordinator", "midbroadcast"},
+		Crashes: []string{"one@0", "coordinator", "midbroadcast", "maxid@6"},
 		Seeds:   seeds,
 	}
-	// Crash x overlay cross product on multihop topologies. floodpaxos
-	// is the one multihop algorithm whose liveness is robust to every
-	// crash-pattern/overlay combination (wpaxos can stall when a crash
-	// meets unreliable chords; see ROADMAP open items).
+	// Crash x overlay cross product on multihop topologies. Since the Ω
+	// failure-detector redesign (suspicion + rotation + retransmit-until-
+	// superseded) both PAXOS variants survive every crash-pattern/overlay
+	// combination here, including maxid@T — the stable leader dying after
+	// election has settled, the axis that used to stall them both.
 	faultmultihop := harness.Grid{
-		Algos:    []string{"floodpaxos"},
+		Algos:    []string{"wpaxos", "floodpaxos"},
 		Topos:    []harness.Topo{{Kind: "ring", N: 9}, {Kind: "grid", Rows: 3, Cols: 3}},
 		Scheds:   []string{"random"},
 		Facks:    []int64{4},
-		Crashes:  []string{"one@0", "midbroadcast"},
+		Crashes:  []string{"one@0", "midbroadcast", "maxid@6"},
 		Overlays: []string{"none", "randomextra:0.25", "chords"},
 		Seeds:    seeds,
 	}

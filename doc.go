@@ -23,8 +23,9 @@
 // per-sweep caches of built topologies, their diameters and overlay dual
 // graphs keyed by (topo, seed) — so everything that depends only on the
 // topology and seed is computed once per sweep, not once per scenario. The two adversity registries put the paper's fault
-// models on sweep axes: crash patterns (none, one@T, coordinator,
-// midbroadcast, minorityrand) schedule the crash failures of Theorem 3.2
+// models on sweep axes: crash patterns (none, one@T, maxid@T,
+// coordinator, midbroadcast, minorityrand) schedule the crash failures
+// of Theorem 3.2
 // — including the mid-broadcast crash that loses part of a delivery plan
 // and the ack — and overlay families (none, randomextra:P, extra:K,
 // chords, each with an optional @Q delivery probability) build the
@@ -64,9 +65,51 @@
 // byte-reproducible at any worker count. `amacexplore -grid` runs
 // campaigns from the same sweep-axis grammar as `amacsim -sweep` (the
 // shared harness.AxisFlags helper) and emits a JSON campaign report. The
-// minimized wPAXOS liveness stall and the campaign-found floodpaxos
-// leader-death stall under internal/harness/testdata/ are the first
-// artifacts found this way (see ROADMAP.md for both root-cause analyses).
+// first artifacts found this way were two multihop liveness stalls (a
+// wPAXOS response lost forever on a lossy chord, a floodpaxos leader
+// dying after election); both are fixed (see the next section) and their
+// recordings under internal/harness/testdata/ now serve as divergence
+// regressions, with the minimized two-phase coordinator-crash stall —
+// the paper's Theorem 3.2 counterexample, which is supposed to stall —
+// as the canonical violating artifact.
+//
+// # Liveness under leader death
+//
+// Both multihop algorithms (internal/core/wpaxos and its flooding
+// baseline internal/baseline/floodpaxos) survive the death of their
+// elected proposer. Two mechanisms, shared via wpaxos.Detector:
+//
+//   - Retransmit until superseded. Every queue a node pumps — leader
+//     announcements, change notices, the highest-numbered proposition,
+//     acceptor responses, gossiped acceptor state — stays sticky: it is
+//     re-broadcast on every pump until a strictly newer item supersedes
+//     it, rather than sent once and forgotten. Receivers deduplicate, so
+//     retransmission is idempotent; a message lost to a crash or an
+//     unreliable overlay edge is simply sent again. wPAXOS's aggregated
+//     fast-path response counts remain send-once (re-aggregating would
+//     double-count); robustness there comes from per-origin monotone
+//     acceptor-state gossip, merged idempotently, with a chosen-value
+//     watch that lets any node observe a majority and decide even if
+//     the proposer who assembled it is dead.
+//   - Suspicion-based Ω with deterministic rotation. Each node estimates
+//     Fack from observed broadcast-to-ack delays (fhat) and suspects the
+//     current omega after fhat·(4n+8)·mult ticks of silence, doubling
+//     mult on each firing so false suspicions under slow schedules die
+//     out. Membership is learned from gossip and kept sorted; on
+//     suspicion the detector demotes omega to the next-highest
+//     unsuspected id, and when every member is suspected it clears all
+//     suspicions and re-promotes the maximum — so a false cascade
+//     self-heals. Detector.Gossip alternates between flooding the
+//     current omega (the paper's O(D·Fack) leader-election flood) and
+//     round-robin membership dissemination, keeping election fast while
+//     every node converges on the same sorted member list, which makes
+//     rotation deterministic across nodes and seeds.
+//
+// The formerly pinned stalls now terminate
+// (internal/harness/known_issue_test.go asserts termination, CI scans
+// the whole crash×overlay leader-death grid clean), including the
+// maxid@T crash pattern — killing the stable max-id leader after
+// election has settled, the exact axis that used to stall both variants.
 //
 // # Determinism contract
 //

@@ -118,17 +118,19 @@ func main() {
 	// the two pipelines above: sweep a whole grid with schedule-coverage
 	// fingerprints on, stream every violating (scenario, seed) out of the
 	// cell workers, and delta-debug one flagged run per cell into a
-	// minimal replayable counterexample. This grid pairs the repository's
-	// pinned wPAXOS liveness stall (ring:9, mid-broadcast crash, chords
-	// overlay — some seeds never terminate) with floodpaxos in the same
-	// cell, which survives it. (`amacexplore -grid` is the CLI face of
-	// exactly this call; see ROADMAP.md for the stall's root cause.)
+	// minimal replayable counterexample. This grid pairs the canonical
+	// violating cell — two-phase consensus losing its coordinator, the
+	// paper's Theorem 3.2 counterexample: every witness strands forever —
+	// with wPAXOS in the same cell, which survives the crash (since the Ω
+	// failure-detector redesign it rotates to a live proposer; see
+	// doc.go's "Liveness under leader death"). (`amacexplore -grid` is
+	// the CLI face of exactly this call.)
 	campaign, err := explore.Campaign(harness.Grid{
-		Algos:    []string{"wpaxos", "floodpaxos"},
+		Algos:    []string{"twophase", "wpaxos"},
 		Topos:    []harness.Topo{{Kind: "ring", N: 9}},
 		Scheds:   []string{"random"},
 		Facks:    []int64{4},
-		Crashes:  []string{"midbroadcast"},
+		Crashes:  []string{"coordinator"},
 		Overlays: []string{"chords"},
 		Seeds:    []int64{1, 2, 3, 4, 5, 6, 7, 8},
 	}, explore.CampaignOptions{MaxEvents: 200_000, Minimize: true})

@@ -102,10 +102,11 @@ type Factory func(cfg NodeConfig) Algorithm
 
 // MaxMessageIDs is the constant bound on ids per message this repository's
 // algorithms adhere to (the model requires only that some constant exists;
-// wPAXOS's multiplexed broadcast carries up to nine — one per service
-// message plus routing and proposal-number ids). The simulator audits
-// broadcasts against this bound when auditing is on.
-const MaxMessageIDs = 9
+// wPAXOS's multiplexed broadcast carries up to twelve — one per service
+// message plus routing and proposal-number ids, including the gossiped
+// acceptor-state triple of origin, promised number, and accepted number).
+// The simulator audits broadcasts against this bound when auditing is on.
+const MaxMessageIDs = 12
 
 // AuditIDCount returns an error when m reports more than MaxMessageIDs ids.
 func AuditIDCount(m Message) error {

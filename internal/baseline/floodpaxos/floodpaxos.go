@@ -9,10 +9,18 @@
 // proposer needs Theta(n*Fack) time to count a majority — versus wPAXOS's
 // O(D*Fack) aggregation. Experiment E7 measures the contrast.
 //
-// Like wPAXOS it assumes unique ids and knowledge of n, elects the maximum
-// id by flooding, and restarts proposals on change notifications (here
-// triggered by leader-estimate updates only; there are no trees to
-// stabilize).
+// Like wPAXOS it assumes unique ids and knowledge of n. Leader election is
+// the shared suspicion-based Ω detector (internal/core/wpaxos/detector.go):
+// membership is gossiped one id per broadcast, the maximum unsuspected
+// member is the leader, and silence demotes it so the proposership rotates
+// off corpses. Outbound queues are retransmit-until-superseded: the newest
+// change, the highest-numbered proposition, and every pending response
+// stay queued and are re-broadcast (responses round-robin) until newer
+// state supersedes them, so a message lost to a lossy overlay edge is
+// re-offered forever rather than gone. Receivers deduplicate, keeping the
+// retransmissions idempotent. Any node that observes a majority of
+// acceptors accepting the same proposal decides — termination does not
+// require the proposer to survive its own round.
 package floodpaxos
 
 import (
@@ -22,7 +30,8 @@ import (
 	"github.com/absmac/absmac/internal/core/wpaxos"
 )
 
-// LeaderMsg floods the maximum id (as in wPAXOS's leader election).
+// LeaderMsg gossips one known member id (the detector's membership
+// rotation; the maximum unsuspected member is the leader).
 type LeaderMsg struct {
 	ID amac.NodeID
 }
@@ -115,31 +124,40 @@ type respKey struct {
 	acceptor amac.NodeID
 }
 
-// Node is the per-node state machine. The outbound queues (leaderQ,
-// changeQ, propQ, decideQ) are value slots with presence flags and respQ
-// pops through a head index, so queue traffic allocates only when respQ
-// has to grow.
+// Node is the per-node state machine. The outbound queues (changeQ, propQ,
+// decideQ) are value slots with presence flags; respQ is a sticky cycle —
+// entries leave only when a newer proposition from the same proposer
+// supersedes them — so queue traffic allocates only when respQ has to
+// grow.
 type Node struct {
 	api   amac.API
 	id    amac.NodeID
 	n     int
 	input amac.Value
 
-	omega      amac.NodeID
-	hasLeaderQ bool
-	leaderQ    LeaderMsg
+	det *wpaxos.Detector
+
 	lastChange int64
 	hasChangeQ bool
 	changeQ    ChangeMsg
 
-	hasPropQ     bool
-	propQ        ProposerMsg
-	seenProps    map[wpaxos.Proposition]bool
-	maxLeaderNum wpaxos.ProposalNum
+	hasPropQ  bool
+	propQ     ProposerMsg
+	seenProps map[wpaxos.Proposition]bool
+	// maxNumBy is the largest proposal number seen per proposer; pending
+	// responses are pruned per proposer, so one proposer's newer round
+	// never discards another proposer's countable responses.
+	maxNumBy map[amac.NodeID]wpaxos.ProposalNum
 
 	respQ    []ResponseMsg
-	respHead int
+	respCur  int
 	seenResp map[respKey]bool
+
+	// propVals remembers the value of every propose seen, and chosenBy
+	// the acceptors seen accepting each number: a majority means the
+	// value is chosen and any observer decides, proposer dead or alive.
+	propVals map[wpaxos.ProposalNum]amac.Value
+	chosenBy map[wpaxos.ProposalNum]map[amac.NodeID]bool
 
 	promised wpaxos.ProposalNum
 	accepted *wpaxos.Proposal
@@ -187,6 +205,9 @@ func New(input amac.Value, n int) *Node {
 		seenProps: make(map[wpaxos.Proposition]bool, 8),
 		seenResp:  make(map[respKey]bool, 4*n),
 		respQ:     make([]ResponseMsg, 0, 2*n),
+		maxNumBy:  make(map[amac.NodeID]wpaxos.ProposalNum, 4),
+		propVals:  make(map[wpaxos.ProposalNum]amac.Value, 4),
+		chosenBy:  make(map[wpaxos.ProposalNum]map[amac.NodeID]bool, 4),
 	}
 }
 
@@ -221,9 +242,7 @@ func (a *Node) getMsg() *Combined {
 func (a *Node) Start(api amac.API) {
 	a.api = api
 	a.id = api.ID()
-	a.omega = a.id
-	a.hasLeaderQ = true
-	a.leaderQ = LeaderMsg{ID: a.id}
+	a.det = wpaxos.NewDetector(a.id, a.n)
 	a.lastChange = -1
 	if a.n == 1 {
 		a.decide(a.input)
@@ -238,29 +257,22 @@ func (a *Node) OnReceive(m amac.Message) {
 	if !ok {
 		panic(fmt.Sprintf("floodpaxos: unexpected message type %T", m))
 	}
-	if c.Leader != nil && c.Leader.ID > a.omega {
-		a.omega = c.Leader.ID
-		a.hasLeaderQ = true
-		a.leaderQ = LeaderMsg{ID: a.omega}
-		if a.hasPropQ && a.propQ.Num.ID != a.omega {
-			a.hasPropQ = false
-		}
-		a.maxLeaderNum = wpaxos.ProposalNum{}
-		a.respQ = a.respQ[:0]
-		a.respHead = 0
-		// A leader update is the change event.
-		a.lastChange = a.api.Now()
-		a.hasChangeQ = true
-		a.changeQ = ChangeMsg{T: a.lastChange, ID: a.id}
-		if a.omega == a.id {
-			a.generateProposal()
+	if c.Leader != nil {
+		prev := a.det.Omega()
+		if a.det.Learn(c.Leader.ID) {
+			a.det.Novel(a.api.Now())
+			if a.det.Omega() != prev {
+				// A leader update is the change event.
+				a.localChange()
+			}
 		}
 	}
 	if c.Change != nil && c.Change.T > a.lastChange {
 		a.lastChange = c.Change.T
 		a.hasChangeQ = true
 		a.changeQ = ChangeMsg{T: c.Change.T, ID: c.Change.ID}
-		if a.omega == a.id {
+		a.det.Novel(a.api.Now())
+		if a.det.Omega() == a.id {
 			a.generateProposal()
 		}
 	}
@@ -278,7 +290,20 @@ func (a *Node) OnReceive(m amac.Message) {
 	a.pump()
 }
 
-// OnAck implements amac.Algorithm.
+// localChange floods a change notification and restarts the proposer when
+// this node believes it is the leader.
+func (a *Node) localChange() {
+	a.lastChange = a.api.Now()
+	a.hasChangeQ = true
+	a.changeQ = ChangeMsg{T: a.lastChange, ID: a.id}
+	if a.det.Omega() == a.id {
+		a.generateProposal()
+	}
+}
+
+// OnAck implements amac.Algorithm. The ack stream clocks the failure
+// detector: undecided nodes broadcast on every pump (the leader slot is
+// never empty), so silence checks never stop arriving.
 func (a *Node) OnAck(m amac.Message) {
 	a.inflight = false
 	if a.reuse {
@@ -287,6 +312,16 @@ func (a *Node) OnAck(m amac.Message) {
 		c := m.(*Combined)
 		*c = Combined{}
 		a.msgFree = append(a.msgFree, c)
+	}
+	now := a.api.Now()
+	a.det.NoteAck(now)
+	if !a.decided {
+		switch a.det.Check(now) {
+		case wpaxos.DetectorDemoted:
+			a.localChange()
+		case wpaxos.DetectorRearm:
+			a.generateProposal()
+		}
 	}
 	a.pump()
 }
@@ -309,38 +344,42 @@ func (a *Node) pump() {
 		a.hasDecideQ = false
 	}
 	if !a.decided {
-		if a.hasLeaderQ {
-			ensure()
-			c.buf.leader = a.leaderQ
-			c.Leader = &c.buf.leader
-			a.hasLeaderQ = false
-		}
+		// Membership gossip: one known id per pump, cycling. This slot
+		// is always non-empty, so an undecided node is never silent —
+		// the detector's liveness tick.
+		ensure()
+		c.buf.leader = LeaderMsg{ID: a.det.Gossip()}
+		c.Leader = &c.buf.leader
 		if a.hasChangeQ {
+			// Sticky: the newest change is re-broadcast until a newer
+			// one supersedes it (receivers dedup by timestamp).
 			ensure()
 			c.buf.change = a.changeQ
 			c.Change = &c.buf.change
-			a.hasChangeQ = false
 		}
 		if a.hasPropQ {
+			// Sticky: the highest-numbered proposition is re-broadcast
+			// until superseded (receivers dedup on first sight).
 			ensure()
 			c.buf.proposer = a.propQ
 			c.Proposer = &c.buf.proposer
-			a.hasPropQ = false
 		}
-		if a.respHead < len(a.respQ) {
-			ensure()
-			c.buf.response = a.respQ[a.respHead]
-			c.Response = &c.buf.response
-			a.respHead++
-			if a.respHead == len(a.respQ) {
-				a.respQ = a.respQ[:0]
-				a.respHead = 0
+		if len(a.respQ) > 0 {
+			// Sticky cycle: pending responses are re-broadcast
+			// round-robin until superseded per proposer.
+			if a.respCur >= len(a.respQ) {
+				a.respCur = 0
 			}
+			ensure()
+			c.buf.response = a.respQ[a.respCur]
+			c.Response = &c.buf.response
+			a.respCur++
 		}
 	}
 	if c == nil {
 		return
 	}
+	a.det.NoteSend(a.api.Now())
 	a.inflight = true
 	a.api.Broadcast(c)
 }
@@ -354,10 +393,15 @@ func (a *Node) onProposer(m ProposerMsg) {
 		return
 	}
 	a.seenProps[key] = true
-	if m.Num.ID != a.omega {
-		return
+	a.det.Novel(a.api.Now())
+	// Respond to and relay every first-seen proposition, whoever proposed
+	// it: with a rotating Ω, nodes may disagree about the leader, and
+	// PAXOS safety is proposer-independent.
+	a.noteProposerNum(m.Num)
+	if m.Kind == wpaxos.Propose {
+		a.propVals[m.Num] = m.Val
+		a.maybeDecideChosen(m.Num)
 	}
-	a.noteLeaderNum(m.Num)
 	if !a.hasPropQ || a.propQ.Num.Less(m.Num) ||
 		(a.propQ.Num == m.Num && a.propQ.Kind == wpaxos.Prepare && m.Kind == wpaxos.Propose) {
 		a.hasPropQ = true
@@ -366,19 +410,23 @@ func (a *Node) onProposer(m ProposerMsg) {
 	a.respond(m)
 }
 
-func (a *Node) noteLeaderNum(num wpaxos.ProposalNum) {
-	if a.maxLeaderNum.Less(num) {
-		a.maxLeaderNum = num
-		// Compact the pending responses in place: the write index starts
-		// at 0 and never passes the read index (which starts at respHead).
+// noteProposerNum updates the largest proposal number seen from num's
+// proposer and prunes that proposer's superseded responses from the
+// pending cycle.
+func (a *Node) noteProposerNum(num wpaxos.ProposalNum) {
+	if cur := a.maxNumBy[num.ID]; cur.Less(num) {
+		a.maxNumBy[num.ID] = num
 		kept := a.respQ[:0]
-		for _, r := range a.respQ[a.respHead:] {
-			if !r.Prop.Num.Less(num) {
-				kept = append(kept, r)
+		for _, r := range a.respQ {
+			if r.Prop.Num.ID == num.ID && r.Prop.Num.Less(num) {
+				continue
 			}
+			kept = append(kept, r)
 		}
 		a.respQ = kept
-		a.respHead = 0
+		if a.respCur > len(a.respQ) {
+			a.respCur = 0
+		}
 	}
 }
 
@@ -403,18 +451,24 @@ func (a *Node) respond(m ProposerMsg) {
 			r.Committed = a.promised
 		}
 	}
+	// Mark our own response seen so the flood echoing it back is not
+	// re-queued as a duplicate.
+	a.seenResp[respKey{prop: r.Prop, acceptor: r.Acceptor}] = true
 	a.routeResponse(r)
 }
 
-// routeResponse floods a response (or consumes it when this node is the
-// proposer).
+// routeResponse queues a response for sticky flooding (or consumes it when
+// this node is the proposer) and feeds the chosen-value watch.
 func (a *Node) routeResponse(r ResponseMsg) {
+	if r.Positive && r.Prop.Kind == wpaxos.Propose {
+		a.tallyChosen(r.Prop.Num, r.Acceptor)
+	}
 	if r.Prop.Num.ID == a.id {
 		a.consume(r)
 		return
 	}
-	if r.Prop.Num.ID != a.omega || r.Prop.Num.Less(a.maxLeaderNum) {
-		return
+	if r.Prop.Num.Less(a.maxNumBy[r.Prop.Num.ID]) {
+		return // superseded by a newer round from the same proposer
 	}
 	a.respQ = append(a.respQ, r)
 }
@@ -428,7 +482,41 @@ func (a *Node) onResponse(r ResponseMsg) {
 		return
 	}
 	a.seenResp[key] = true
+	a.det.Novel(a.api.Now())
+	a.noteProposerNum(r.Prop.Num)
 	a.routeResponse(r)
+}
+
+// tallyChosen records that acceptor accepted num; a majority of acceptors
+// accepting the same number means its value is chosen, and any observer
+// decides it (the responses keep flooding stickily even if the proposer
+// died mid-round).
+func (a *Node) tallyChosen(num wpaxos.ProposalNum, acceptor amac.NodeID) {
+	set := a.chosenBy[num]
+	if set == nil {
+		set = make(map[amac.NodeID]bool, a.n)
+		a.chosenBy[num] = set
+	}
+	if set[acceptor] {
+		return
+	}
+	set[acceptor] = true
+	a.maybeDecideChosen(num)
+}
+
+func (a *Node) maybeDecideChosen(num wpaxos.ProposalNum) {
+	if a.decided {
+		return
+	}
+	v, ok := a.propVals[num]
+	if !ok {
+		return // value not yet known; re-checked when the propose arrives
+	}
+	if 2*len(a.chosenBy[num]) > a.n {
+		a.decide(v)
+		a.hasDecideQ = true
+		a.decideQ = DecideMsg{Val: v}
+	}
 }
 
 func (a *Node) generateProposal() {
@@ -460,7 +548,7 @@ func (a *Node) startProposal() {
 	a.bestPrev = nil
 	m := ProposerMsg{Kind: wpaxos.Prepare, Num: a.num}
 	a.seenProps[m.Proposition()] = true
-	a.noteLeaderNum(a.num)
+	a.noteProposerNum(a.num)
 	a.hasPropQ = true
 	a.propQ = m
 	a.respond(m)
@@ -510,13 +598,18 @@ func (a *Node) beginPropose() {
 	}
 	m := ProposerMsg{Kind: wpaxos.Propose, Num: a.num, Val: a.value}
 	a.seenProps[m.Proposition()] = true
+	a.propVals[a.num] = a.value
 	a.hasPropQ = true
 	a.propQ = m
 	a.respond(m)
 }
 
+// retry abandons the current number after a majority rejected it. A node
+// that exhausts its two-numbers budget goes idle; the failure detector's
+// re-arm (or the next change event) hands out a fresh budget, so no
+// proposer is gated forever while it believes itself leader.
 func (a *Node) retry() {
-	if a.omega != a.id || a.triesLeft <= 0 {
+	if a.det.Omega() != a.id || a.triesLeft <= 0 {
 		a.phase = 0
 		a.num = wpaxos.ProposalNum{}
 		return

@@ -1,0 +1,224 @@
+package wpaxos
+
+import (
+	"sort"
+
+	"github.com/absmac/absmac/internal/amac"
+)
+
+// This file implements the Ω failure detector shared by wPAXOS and the
+// floodpaxos baseline. The paper's Algorithm 2 elects the maximum id ever
+// heard, monotonically — correct in crash-free executions but fatal under
+// leader death: every survivor gates its proposer on omega == self and
+// waits on a corpse (Theorem 3.2 made concrete; see the two stall
+// artifacts retired by PR 8). The redesign keeps the deterministic
+// max-id rule but adds suspicion:
+//
+//   - Membership: ids are learned by gossip (the leader slot of every
+//     broadcast cycles through the known member set) and kept sorted, so
+//     rotation order is identical across nodes and seeds.
+//   - Suspicion: a node tracks the time of the last *novel* information it
+//     observed — any dedup-passing state change (new member, fresh change
+//     notification, tree improvement, first-seen proposition or response,
+//     advancing acceptor state). When nothing novel arrives for longer
+//     than the silence bound, the current omega is demoted and the next
+//     highest unsuspected member takes over.
+//   - Silence bound: fhat * (4n+8) * mult, where fhat is the largest
+//     broadcast-to-ack delay this node has observed (its running Fack
+//     estimate) and mult doubles on every firing (capped). The 4n+8
+//     factor covers the worst-case information latency of a proposal
+//     round trip across the network; the doubling makes false suspicion
+//     self-healing — a too-small bound only delays, never prevents,
+//     convergence, because a falsely demoted leader's proposals still get
+//     responses (proposer gating is relaxed; see node.go).
+//   - Re-promotion: when the local node is omega and every other member
+//     is suspected, continued silence clears all suspicions and
+//     re-promotes the maximum member, re-probing nodes that may have been
+//     falsely demoted ("recovery-free silence" wraps the rotation).
+//
+// False suspicion is safe — PAXOS safety is proposer-independent — so the
+// detector only needs eventual accuracy in the Ω sense: if any majority
+// survives, some survivor eventually believes itself leader long enough
+// to drive a proposal to completion. Undecided nodes broadcast on every
+// pump (retransmit-until-superseded keeps their queues non-empty), so the
+// ack stream that clocks Check never dries up.
+
+// DetectorEvent is the outcome of a silence check.
+type DetectorEvent int
+
+const (
+	// DetectorQuiet: the silence bound has not elapsed; nothing changed.
+	DetectorQuiet DetectorEvent = iota
+	// DetectorDemoted: omega changed (a suspicion was added, or the
+	// rotation wrapped and re-promoted the maximum member). The caller
+	// should treat this as a change event.
+	DetectorDemoted
+	// DetectorRearm: this node already believes itself leader but nothing
+	// is progressing; the caller should restart its proposer.
+	DetectorRearm
+)
+
+// Detector is the suspicion-based Ω failure detector. One instance per
+// node; all methods are called from the node's serialized event handlers.
+type Detector struct {
+	self amac.NodeID
+	n    int
+
+	members    []amac.NodeID // sorted ascending; always contains self
+	suspected  map[amac.NodeID]bool
+	omega      amac.NodeID
+	gossipCur  int
+	gossipTick int
+
+	fhat      int64 // largest observed broadcast-to-ack delay, >= 1
+	sendAt    int64 // time of the in-flight broadcast, -1 when none
+	lastNovel int64
+	mult      int64 // doubling multiplier for the silence bound
+}
+
+// maxDetectorMult caps the doubling so the bound cannot overflow; at the
+// cap the detector still fires, just at a fixed (very long) period.
+const maxDetectorMult = 1 << 16
+
+// NewDetector returns a detector for a node with the given id in a
+// network of size n.
+func NewDetector(self amac.NodeID, n int) *Detector {
+	return &Detector{
+		self:      self,
+		n:         n,
+		members:   []amac.NodeID{self},
+		suspected: make(map[amac.NodeID]bool),
+		omega:     self,
+		fhat:      1,
+		sendAt:    -1,
+		mult:      1,
+	}
+}
+
+// Omega returns the current leader estimate: the maximum unsuspected
+// member.
+func (d *Detector) Omega() amac.NodeID { return d.omega }
+
+// Members returns the sorted known member set (shared slice; callers must
+// not mutate it).
+func (d *Detector) Members() []amac.NodeID { return d.members }
+
+// Suspects reports whether id is currently suspected.
+func (d *Detector) Suspects(id amac.NodeID) bool { return d.suspected[id] }
+
+// Learn adds id to the member set, reporting whether it was new. The
+// caller should compare Omega before and after: a newly learned maximum
+// takes over immediately (the paper's max-id election, now over a gossiped
+// membership rather than a monotone high-water mark).
+func (d *Detector) Learn(id amac.NodeID) bool {
+	i := sort.Search(len(d.members), func(k int) bool { return d.members[k] >= id })
+	if i < len(d.members) && d.members[i] == id {
+		return false
+	}
+	d.members = append(d.members, 0)
+	copy(d.members[i+1:], d.members[i:])
+	d.members[i] = id
+	d.elect()
+	return true
+}
+
+// Gossip returns the next member id to announce. It alternates between
+// the current omega — so the leader estimate floods at full speed and
+// stabilizes in O(D*Fack), matching the paper's Algorithm 2 — and a
+// round-robin walk of the member set, which spreads full membership so
+// every node demotes in the same order. It is never empty (self is always
+// a member), so an undecided node always has something to broadcast — the
+// liveness tick the silence check depends on.
+func (d *Detector) Gossip() amac.NodeID {
+	d.gossipTick++
+	if d.gossipTick%2 == 1 {
+		return d.omega
+	}
+	if d.gossipCur >= len(d.members) {
+		d.gossipCur = 0
+	}
+	id := d.members[d.gossipCur]
+	d.gossipCur++
+	return id
+}
+
+// Novel records that novel information was observed at time now, resetting
+// the silence window. Retransmitted (deduplicated) traffic must not be
+// reported here — only state changes count as progress.
+func (d *Detector) Novel(now int64) {
+	if now > d.lastNovel {
+		d.lastNovel = now
+	}
+}
+
+// NoteSend records the start of a broadcast (for the Fack estimate).
+func (d *Detector) NoteSend(now int64) { d.sendAt = now }
+
+// NoteAck records the matching ack and folds the observed delay into the
+// Fack estimate fhat.
+func (d *Detector) NoteAck(now int64) {
+	if d.sendAt < 0 {
+		return
+	}
+	delay := now - d.sendAt
+	if delay < 1 {
+		delay = 1
+	}
+	if delay > d.fhat {
+		d.fhat = delay
+	}
+	d.sendAt = -1
+}
+
+// Bound returns the current silence bound.
+func (d *Detector) Bound() int64 { return d.fhat * int64(4*d.n+8) * d.mult }
+
+// Check runs the silence check at time now. When the bound has elapsed
+// with nothing novel it fires: demote the current omega (electing the next
+// highest unsuspected member), wrap the rotation when everyone else is
+// already suspected, or — when this node is omega with no one suspected —
+// tell the caller to re-arm its own proposer.
+func (d *Detector) Check(now int64) DetectorEvent {
+	if now-d.lastNovel <= d.Bound() {
+		return DetectorQuiet
+	}
+	d.lastNovel = now
+	if d.mult < maxDetectorMult {
+		d.mult *= 2
+	}
+	if d.omega != d.self {
+		d.suspected[d.omega] = true
+		d.elect()
+		return DetectorDemoted
+	}
+	if len(d.suspected) == 0 {
+		return DetectorRearm
+	}
+	// This node rotated all the way down to itself and still nothing
+	// moved: clear the suspicions and re-probe from the top. A demoted
+	// leader that was falsely suspected re-promotes here.
+	for _, m := range d.members {
+		delete(d.suspected, m)
+	}
+	d.elect()
+	if d.omega == d.self {
+		return DetectorRearm
+	}
+	return DetectorDemoted
+}
+
+// elect recomputes omega: the maximum unsuspected member, wrapping (all
+// suspicions cleared) when every member is suspected. Members are sorted,
+// so the scan is deterministic.
+func (d *Detector) elect() {
+	for i := len(d.members) - 1; i >= 0; i-- {
+		if !d.suspected[d.members[i]] {
+			d.omega = d.members[i]
+			return
+		}
+	}
+	for _, m := range d.members {
+		delete(d.suspected, m)
+	}
+	d.omega = d.members[len(d.members)-1]
+}

@@ -59,6 +59,47 @@ type ResponseMsg struct {
 	Committed ProposalNum
 }
 
+// StateMsg gossips one acceptor's state (the weaveworks/weave ipam/paxos
+// idiom): the origin's current promised number and accepted proposal,
+// merged monotonically by every receiver. Unlike the tree-routed
+// aggregated responses, state gossip is origin-keyed and idempotent, so it
+// stays queued and is re-broadcast on every pump until superseded by a
+// newer state from the same origin — the retransmit-until-superseded
+// response class that keeps proposals countable when relays die or lossy
+// overlay edges eat the aggregated fast path. Safety never depends on who
+// proposes: any node that observes a majority of origins with the same
+// accepted proposal decides.
+type StateMsg struct {
+	// Origin is the acceptor whose state this is.
+	Origin amac.NodeID
+	// Promised is the origin's promised number (zero when it has not
+	// promised anything yet).
+	Promised ProposalNum
+	// Accepted is the origin's highest accepted proposal, nil when none.
+	Accepted *Proposal
+}
+
+// Newer reports whether s carries strictly newer information than cur for
+// the same origin. Acceptor state grows lexicographically in
+// (promised, accepted number): promises only rise, and an acceptance
+// raises the accepted number at equal promised.
+func (s StateMsg) Newer(cur StateMsg) bool {
+	if cur.Promised.Less(s.Promised) {
+		return true
+	}
+	if s.Promised != cur.Promised {
+		return false
+	}
+	var a, b ProposalNum
+	if cur.Accepted != nil {
+		a = cur.Accepted.Num
+	}
+	if s.Accepted != nil {
+		b = s.Accepted.Num
+	}
+	return a.Less(b)
+}
+
 // DecideMsg floods a decision through the network.
 type DecideMsg struct {
 	Val amac.Value
@@ -73,6 +114,7 @@ type Combined struct {
 	Search   *SearchMsg
 	Proposer *ProposerMsg
 	Response *ResponseMsg
+	State    *StateMsg
 	Decide   *DecideMsg
 }
 
@@ -99,6 +141,15 @@ func (m Combined) IDCount() int {
 			c++
 		}
 		if !m.Response.Committed.IsZero() {
+			c++
+		}
+	}
+	if m.State != nil {
+		c++ // origin
+		if !m.State.Promised.IsZero() {
+			c++
+		}
+		if m.State.Accepted != nil {
 			c++
 		}
 	}

@@ -1,44 +1,27 @@
 package wpaxos
 
-import "github.com/absmac/absmac/internal/amac"
+import (
+	"sort"
 
-// This file implements the three queue-backed support services of Figure 3.
+	"github.com/absmac/absmac/internal/amac"
+)
+
+// This file implements the queue-backed support services of Figure 3.
 // Each service owns a queue drained by the broadcast service (node.go);
-// queue semantics follow the paper's UpdateQ procedures.
-
-// leaderService implements Algorithm 2 (leader election): flood the
-// maximum id seen. Its queue holds at most one message — the newest.
-type leaderService struct {
-	omega amac.NodeID // Omega_u, the current leader estimate
-	queue *LeaderMsg
-}
-
-func (s *leaderService) init(self amac.NodeID) {
-	s.omega = self
-	s.queue = &LeaderMsg{ID: self}
-}
-
-// receive processes <leader, id>; it reports whether Omega_u changed.
-func (s *leaderService) receive(m LeaderMsg) bool {
-	if m.ID <= s.omega {
-		return false
-	}
-	s.omega = m.ID
-	s.queue = &LeaderMsg{ID: m.ID}
-	return true
-}
-
-// pop drains the queue for the broadcast service.
-func (s *leaderService) pop() *LeaderMsg {
-	m := s.queue
-	s.queue = nil
-	return m
-}
+// queue semantics follow the paper's UpdateQ procedures, extended with
+// retransmit-until-superseded: once a service has something to say it
+// keeps saying it on every pump until newer state supersedes it, so a
+// message lost to a lossy overlay edge (or a crashed relay) is re-offered
+// forever rather than gone. Leader election itself moved to the suspicion
+// detector (detector.go); the leader slot of every broadcast now carries
+// membership gossip from Detector.Gossip.
 
 // changeService implements Algorithm 3 (change notification). Its queue
-// also holds at most one message — the newest timestamp wins. The caller
-// is responsible for invoking the proposer's GenerateNewPAXOSProposal when
-// updateQ reports true and the node currently believes it is the leader.
+// holds the newest change — the largest timestamp wins — and re-broadcasts
+// it until a newer change supersedes it. Receivers deduplicate by
+// timestamp, so the retransmissions are idempotent. The caller is
+// responsible for invoking the proposer's GenerateNewPAXOSProposal when
+// receive reports true and the node currently believes it is the leader.
 type changeService struct {
 	lastChange int64 // -1 stands in for the paper's negative infinity
 	queue      *ChangeMsg
@@ -67,25 +50,33 @@ func (s *changeService) receive(m ChangeMsg) bool {
 	return true
 }
 
+// pop returns the current queue entry without clearing it: the newest
+// change is re-broadcast until superseded. The returned message is never
+// mutated in place (receive and onChange replace it wholesale), so the
+// shared pointer is safe on every substrate.
 func (s *changeService) pop() *ChangeMsg {
-	m := s.queue
-	s.queue = nil
-	return m
+	return s.queue
 }
 
 // treeService implements Algorithm 4 (tree building): for every root id
 // seen, maintain the best known distance and the parent realizing it,
-// Bellman-Ford style. The queue keeps at most one search message per root
-// (the lowest hop count seen), with the current leader's message kept at
-// the front.
+// Bellman-Ford style. The pending queue keeps at most one search message
+// per root (the lowest hop count seen), with the current leader's message
+// kept at the front; once the pending queue drains, the service keeps
+// re-advertising its best known distance per root, cycling round-robin —
+// so a node that lost its parent re-learns a route from any live
+// neighbor's retransmissions after a purge.
 type treeService struct {
 	self   amac.NodeID
 	dist   map[amac.NodeID]int64
 	parent map[amac.NodeID]amac.NodeID
+	// roots is the sorted list of known roots, cycled by pop when the
+	// pending queue is empty.
+	roots    []amac.NodeID
+	rootsCur int
 	// queue preserves FIFO order except that the current leader's entry
-	// is pinned to the front; queued maps root -> position validity via
-	// linear scan (queues are short-lived and small: one entry per root
-	// with pending propagation).
+	// is pinned to the front; it holds the not-yet-broadcast improvements
+	// (one entry per root with pending propagation).
 	queue []SearchMsg
 }
 
@@ -93,6 +84,7 @@ func (s *treeService) init(self amac.NodeID) {
 	s.self = self
 	s.dist = map[amac.NodeID]int64{self: 0}
 	s.parent = map[amac.NodeID]amac.NodeID{self: self}
+	s.roots = []amac.NodeID{self}
 	s.queue = []SearchMsg{{Root: self, Hops: 1, Sender: self}}
 }
 
@@ -121,6 +113,12 @@ func (s *treeService) receive(m SearchMsg, leader amac.NodeID) bool {
 	cur, known := s.dist[m.Root]
 	if known && m.Hops >= cur {
 		return false
+	}
+	if !known {
+		i := sort.Search(len(s.roots), func(k int) bool { return s.roots[k] >= m.Root })
+		s.roots = append(s.roots, 0)
+		copy(s.roots[i+1:], s.roots[i:])
+		s.roots[i] = m.Root
 	}
 	s.dist[m.Root] = m.Hops
 	s.parent[m.Root] = m.Sender
@@ -161,12 +159,23 @@ func (s *treeService) prioritize(leader amac.NodeID) {
 	}
 }
 
-// pop drains one message for the broadcast service.
-func (s *treeService) pop() *SearchMsg {
-	if len(s.queue) == 0 {
-		return nil
+// pop yields one message for the broadcast service: the next pending
+// improvement when there is one, otherwise the sticky retransmission of
+// the best known distance to the next root in the cycle. It reports
+// false only before init.
+func (s *treeService) pop() (SearchMsg, bool) {
+	if len(s.queue) > 0 {
+		m := s.queue[0]
+		s.queue = s.queue[1:]
+		return m, true
 	}
-	m := s.queue[0]
-	s.queue = s.queue[1:]
-	return &m
+	if len(s.roots) == 0 {
+		return SearchMsg{}, false
+	}
+	if s.rootsCur >= len(s.roots) {
+		s.rootsCur = 0
+	}
+	root := s.roots[s.rootsCur]
+	s.rootsCur++
+	return SearchMsg{Root: root, Hops: s.dist[root] + 1, Sender: s.self}, true
 }

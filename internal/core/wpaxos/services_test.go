@@ -45,34 +45,6 @@ func TestMaxPrev(t *testing.T) {
 	}
 }
 
-func TestLeaderService(t *testing.T) {
-	var s leaderService
-	s.init(5)
-	if s.omega != 5 {
-		t.Fatalf("omega = %d", s.omega)
-	}
-	if m := s.pop(); m == nil || m.ID != 5 {
-		t.Fatalf("initial queue %v", m)
-	}
-	if s.pop() != nil {
-		t.Fatal("queue not drained")
-	}
-	if s.receive(LeaderMsg{ID: 3}) {
-		t.Fatal("smaller id accepted")
-	}
-	if !s.receive(LeaderMsg{ID: 9}) {
-		t.Fatal("larger id rejected")
-	}
-	if s.omega != 9 {
-		t.Fatalf("omega = %d after update", s.omega)
-	}
-	// Newest message replaces the queue.
-	s.receive(LeaderMsg{ID: 12})
-	if m := s.pop(); m == nil || m.ID != 12 {
-		t.Fatalf("queue after two updates: %v", m)
-	}
-}
-
 func TestChangeService(t *testing.T) {
 	var s changeService
 	s.init()
@@ -82,6 +54,10 @@ func TestChangeService(t *testing.T) {
 	s.onChange(10, 4)
 	if m := s.pop(); m == nil || m.T != 10 || m.ID != 4 {
 		t.Fatalf("queued %v", m)
+	}
+	// pop is sticky: the newest change stays queued until superseded.
+	if m := s.pop(); m == nil || m.T != 10 {
+		t.Fatalf("sticky pop %v", m)
 	}
 	if s.receive(ChangeMsg{T: 9, ID: 1}) {
 		t.Fatal("stale timestamp accepted")
@@ -132,13 +108,22 @@ func TestTreeQueueReplacesDominated(t *testing.T) {
 	s.pop() // drain own search
 	s.receive(SearchMsg{Root: 7, Hops: 3, Sender: 4}, 0)
 	s.receive(SearchMsg{Root: 7, Hops: 1, Sender: 2}, 0)
-	// Only one message for root 7 remains, the improved relay (hops 2).
-	m := s.pop()
-	if m == nil || m.Root != 7 || m.Hops != 2 {
+	// Only one pending message for root 7 remains, the improved relay
+	// (hops 2).
+	m, ok := s.pop()
+	if !ok || m.Root != 7 || m.Hops != 2 {
 		t.Fatalf("queued message %+v, want root 7 hops 2", m)
 	}
-	if s.pop() != nil {
-		t.Fatal("dominated message survived")
+	// With the pending queue drained, pop turns sticky: it re-advertises
+	// the best known distance per root, cycling (roots sorted: 1, 7).
+	if m, ok = s.pop(); !ok || m.Root != 1 || m.Hops != 1 {
+		t.Fatalf("sticky pop %+v, want root 1 hops 1", m)
+	}
+	if m, ok = s.pop(); !ok || m.Root != 7 || m.Hops != 2 {
+		t.Fatalf("sticky pop %+v, want root 7 hops 2", m)
+	}
+	if m, ok = s.pop(); !ok || m.Root != 1 {
+		t.Fatalf("sticky cycle %+v, want wrap to root 1", m)
 	}
 }
 
@@ -150,14 +135,14 @@ func TestTreeQueueLeaderPriority(t *testing.T) {
 	s.receive(SearchMsg{Root: 6, Hops: 2, Sender: 4}, 9)
 	s.receive(SearchMsg{Root: 9, Hops: 2, Sender: 4}, 9) // the leader's
 	// The leader's message must pop first despite arriving last.
-	if m := s.pop(); m == nil || m.Root != 9 {
+	if m, ok := s.pop(); !ok || m.Root != 9 {
 		t.Fatalf("first pop %+v, want leader root 9", m)
 	}
 	// FIFO order among the rest.
-	if m := s.pop(); m == nil || m.Root != 5 {
+	if m, ok := s.pop(); !ok || m.Root != 5 {
 		t.Fatalf("second pop %+v, want root 5", m)
 	}
-	if m := s.pop(); m == nil || m.Root != 6 {
+	if m, ok := s.pop(); !ok || m.Root != 6 {
 		t.Fatalf("third pop %+v, want root 6", m)
 	}
 }
@@ -169,7 +154,7 @@ func TestTreeQueueReprioritizeOnLeaderChange(t *testing.T) {
 	s.receive(SearchMsg{Root: 5, Hops: 2, Sender: 4}, 5)
 	s.receive(SearchMsg{Root: 8, Hops: 2, Sender: 4}, 5)
 	s.prioritize(8) // leader changed to 8
-	if m := s.pop(); m == nil || m.Root != 8 {
+	if m, ok := s.pop(); !ok || m.Root != 8 {
 		t.Fatalf("pop %+v, want new leader root 8", m)
 	}
 }
@@ -247,6 +232,11 @@ func TestCombinedIDCount(t *testing.T) {
 			Dest: 6, Prop: Proposition{Kind: Prepare, Num: ProposalNum{1, 5}},
 			Prev:      &Proposal{Num: ProposalNum{1, 2}, Val: 1},
 			Committed: ProposalNum{2, 2},
+		},
+		State: &StateMsg{
+			Origin:   7,
+			Promised: ProposalNum{1, 5},
+			Accepted: &Proposal{Num: ProposalNum{1, 2}, Val: 1},
 		},
 		Decide: &DecideMsg{Val: 1},
 	}

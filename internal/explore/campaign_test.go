@@ -9,16 +9,17 @@ import (
 	"github.com/absmac/absmac/internal/harness"
 )
 
-// campaignGrid is the campaign test workload: the pinned wPAXOS liveness
-// stall cell (violating for some seeds) next to the floodpaxos contrast
-// cell (healthy for all seeds) — a grid where exactly one cell flags.
+// campaignGrid is the campaign test workload: the two-phase coordinator
+// stall cell (violating — a dead coordinator strands every witness) next
+// to the wPAXOS contrast cell (healthy for all seeds since the Ω detector
+// redesign) — a grid where exactly one cell flags.
 func campaignGrid() harness.Grid {
 	return harness.Grid{
-		Algos:    []string{"wpaxos", "floodpaxos"},
+		Algos:    []string{"twophase", "wpaxos"},
 		Topos:    []harness.Topo{{Kind: "ring", N: 9}},
 		Scheds:   []string{"random"},
 		Facks:    []int64{4},
-		Crashes:  []string{"midbroadcast"},
+		Crashes:  []string{"coordinator"},
 		Overlays: []string{"chords"},
 		Seeds:    []int64{1, 2, 3, 4, 5, 6, 7, 8},
 	}
@@ -33,7 +34,7 @@ func TestCampaignFindsKnownStall(t *testing.T) {
 		t.Fatalf("report covers %d cells / %d coverage rows, want 2/2", len(rep.Cells), len(rep.Coverage))
 	}
 	if rep.Flagged == 0 || rep.CellsFlagged != 1 {
-		t.Fatalf("flagged %d runs in %d cells; the wpaxos stall cell alone must flag", rep.Flagged, rep.CellsFlagged)
+		t.Fatalf("flagged %d runs in %d cells; the twophase stall cell alone must flag", rep.Flagged, rep.CellsFlagged)
 	}
 	if len(rep.Findings) != 1 {
 		t.Fatalf("%d findings, want 1 (PerCell defaults to 1)", len(rep.Findings))
@@ -127,11 +128,11 @@ func TestCampaignCleanGrid(t *testing.T) {
 }
 
 // TestParallelShrinkEqualsSerial is the satellite pin: minimizing the
-// committed wPAXOS stall artifact with a width-1 pool and a width-8 pool
-// must produce byte-identical artifacts and the same attempt count —
+// committed two-phase stall artifact with a width-1 pool and a width-8
+// pool must produce byte-identical artifacts and the same attempt count —
 // speculative parallel evaluation must not change what gets accepted.
 func TestParallelShrinkEqualsSerial(t *testing.T) {
-	a, err := ReadFile(filepath.Join("..", "harness", "testdata", "stall_wpaxos_midbroadcast_chords.json"))
+	a, err := ReadFile(filepath.Join("..", "harness", "testdata", "stall_twophase_coordinator_chords.json"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,16 +8,20 @@ import (
 	"github.com/absmac/absmac/internal/harness"
 )
 
-// stallCell is the pinned wPAXOS liveness stall (see
-// internal/harness/known_issue_test.go): ring:9, mid-broadcast crash of
-// node 0, antipodal-chords overlay, seed 4. Its base run quiesces with
-// every survivor undecided, which makes it the canonical explorer and
-// shrinker workload.
+// stallCell is the canonical explorer and shrinker workload: two-phase
+// commit on ring:9 with the coordinator crashing after its first broadcast
+// window, under the antipodal-chords overlay, seed 4. Two-phase is the
+// paper's Theorem 3.2 counterexample — a crashed coordinator strands every
+// witness waiting for phase 2, so the base run quiesces with survivors
+// undecided, deterministically. (The wPAXOS and floodpaxos stalls that
+// used to anchor these tests were fixed by the Ω failure-detector
+// redesign; their artifacts live on as divergence regressions in
+// internal/harness/testdata.)
 func stallCell() harness.Scenario {
 	return harness.Scenario{
-		Algo: "wpaxos", Topo: harness.Topo{Kind: "ring", N: 9},
+		Algo: "twophase", Topo: harness.Topo{Kind: "ring", N: 9},
 		Sched: "random", Fack: 4, Seed: 4,
-		Crashes: "midbroadcast", Overlay: "chords",
+		Crashes: "coordinator", Overlay: "chords",
 	}
 }
 
@@ -75,11 +79,11 @@ func TestExploreDeterministic(t *testing.T) {
 }
 
 func TestExploreHealthyCellFindsNothingFalse(t *testing.T) {
-	// floodpaxos is robust in the very same cell (the contrast pinned by
-	// the known-issue test): no perturbation within the model may break
-	// it, so every finding would be a false positive.
+	// wPAXOS survives the very same cell since the Ω detector redesign
+	// (leader death rotates the proposership): no perturbation within the
+	// model may break it, so every finding would be a false positive.
 	sc := stallCell()
-	sc.Algo = "floodpaxos"
+	sc.Algo = "wpaxos"
 	rep, err := Explore(sc, Options{Budget: 48, Seed: 1, MaxEvents: 200_000})
 	if err != nil {
 		t.Fatal(err)
@@ -128,7 +132,7 @@ func TestShrinkPreservesViolationAndReduces(t *testing.T) {
 
 func TestShrinkRefusesHealthySchedule(t *testing.T) {
 	sc := stallCell()
-	sc.Algo = "floodpaxos"
+	sc.Algo = "wpaxos"
 	sc.MaxEvents = 200_000
 	_, sched, err := sc.RunRecorded()
 	if err != nil {

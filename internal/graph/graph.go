@@ -178,6 +178,15 @@ func (g *Graph) HasEdge(u, v int) bool {
 	return i < len(row) && row[i] == b
 }
 
+// Freeze materializes the CSR arrays from the edge log. Reads lazily
+// rebuild the CSR after a mutation, so a graph handed to concurrently
+// running readers (the wall-clock substrates: node goroutines calling
+// Neighbors) must be frozen first — concurrent lazy rebuilds race.
+// Reading a frozen graph concurrently is safe until the next mutation.
+func (g *Graph) Freeze() {
+	g.ensure()
+}
+
 // Neighbors returns u's adjacency row. The returned slice aliases the
 // graph's packed neighbor array and must not be mutated by callers; it is
 // valid until the next mutation.

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -67,6 +68,34 @@ func TestAddEdgePanics(t *testing.T) {
 			tc.f(New(3))
 		})
 	}
+}
+
+// TestFreezeAllowsConcurrentReads pins the concurrent-reader contract
+// the wall-clock substrates rely on: after Freeze, Neighbors/HasEdge
+// from many goroutines must be race-free (run under -race to enforce).
+// Without Freeze, the first read after a mutation rebuilds the CSR
+// lazily and concurrent readers would race on that rebuild.
+func TestFreezeAllowsConcurrentReads(t *testing.T) {
+	g := Clique(8)
+	g.Freeze()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for u := 0; u < g.N(); u++ {
+				if len(g.Neighbors(u)) != 7 {
+					t.Errorf("worker %d: node %d has %d neighbors", w, u, len(g.Neighbors(u)))
+					return
+				}
+				if !g.HasEdge(u, (u+1)%g.N()) {
+					t.Errorf("worker %d: missing clique edge at %d", w, u)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 func TestCloneIndependence(t *testing.T) {

@@ -27,6 +27,12 @@ import (
 //
 //	none           no crashes (the default; the empty spec parses as none)
 //	one@T          the highest-index node crashes at time T
+//	maxid@T        alias of one@T with the leader-death reading spelled
+//	               out: the highest-index node carries the maximum id under
+//	               the default identity assignment, so it is the node every
+//	               max-id leader election converges on — crashing it at T
+//	               kills the stable leader and exercises the Ω detector's
+//	               demotion path
 //	coordinator    node 0 — the lowest id, two-phase's coordinator —
 //	               crashes at time Fack (after its first broadcast window)
 //	midbroadcast   node 0 crashes at max(1, Fack/2): inside the first
@@ -49,6 +55,9 @@ type crashCtor struct {
 var crashPatterns = map[string]crashCtor{
 	"none": {mk: func(_ int64, _ int, _, _ int64) []sim.Crash { return nil }},
 	"one": {takesArg: true, mk: func(at int64, n int, _, _ int64) []sim.Crash {
+		return []sim.Crash{{Node: n - 1, At: at}}
+	}},
+	"maxid": {takesArg: true, mk: func(at int64, n int, _, _ int64) []sim.Crash {
 		return []sim.Crash{{Node: n - 1, At: at}}
 	}},
 	"coordinator": {mk: func(_ int64, _ int, fack, _ int64) []sim.Crash {

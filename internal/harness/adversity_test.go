@@ -17,6 +17,8 @@ func TestNewCrashesPatterns(t *testing.T) {
 		{"none", nil},
 		{"one@0", []sim.Crash{{Node: 7, At: 0}}},
 		{"one@13", []sim.Crash{{Node: 7, At: 13}}},
+		{"maxid@0", []sim.Crash{{Node: 7, At: 0}}},
+		{"maxid@13", []sim.Crash{{Node: 7, At: 13}}},
 		{"coordinator", []sim.Crash{{Node: 0, At: 4}}},
 		{"midbroadcast", []sim.Crash{{Node: 0, At: 2}}},
 	}
@@ -71,7 +73,8 @@ func TestNewCrashesMinorityRand(t *testing.T) {
 
 func TestNewCrashesErrors(t *testing.T) {
 	for _, spec := range []string{
-		"nope", "one", "one@", "one@x", "one@-3", "coordinator@2", "none@1", "minorityrand@5",
+		"nope", "one", "one@", "one@x", "one@-3", "maxid", "maxid@", "maxid@-1",
+		"coordinator@2", "none@1", "minorityrand@5",
 	} {
 		if _, err := NewCrashes(spec, 8, 4, 1); err == nil {
 			t.Errorf("NewCrashes(%q) accepted", spec)

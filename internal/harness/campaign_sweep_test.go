@@ -69,16 +69,17 @@ func TestFingerprintDistinguishesSeeds(t *testing.T) {
 	}
 }
 
-// stallGrid is a two-cell grid: the pinned wPAXOS liveness stall
-// (violating for some seeds) next to the floodpaxos contrast cell
-// (healthy for all).
+// stallGrid is a two-cell grid: the two-phase coordinator stall cell
+// (violating — a dead coordinator strands every witness, the paper's
+// Theorem 3.2 counterexample) next to the wPAXOS contrast cell (healthy
+// for all seeds since the Ω failure-detector redesign).
 func stallGrid(seeds int) Grid {
 	g := Grid{
-		Algos:     []string{"wpaxos", "floodpaxos"},
+		Algos:     []string{"twophase", "wpaxos"},
 		Topos:     []Topo{{Kind: "ring", N: 9}},
 		Scheds:    []string{"random"},
 		Facks:     []int64{4},
-		Crashes:   []string{"midbroadcast"},
+		Crashes:   []string{"coordinator"},
 		Overlays:  []string{"chords"},
 		MaxEvents: 200_000,
 	}
@@ -121,7 +122,7 @@ func TestSweepStreamsFlaggedRuns(t *testing.T) {
 			return flagged[i].Run < flagged[j].Run
 		})
 		if len(flagged) == 0 {
-			t.Fatal("the known wPAXOS stall cell produced no flagged runs")
+			t.Fatal("the two-phase coordinator stall cell produced no flagged runs")
 		}
 		// Flag stream must agree with the cell aggregates.
 		badRuns := 0
@@ -133,7 +134,7 @@ func TestSweepStreamsFlaggedRuns(t *testing.T) {
 		}
 		for _, f := range flagged {
 			if f.Cell != 0 {
-				t.Fatalf("flagged run in cell %d; only cell 0 (wpaxos) may violate", f.Cell)
+				t.Fatalf("flagged run in cell %d; only cell 0 (twophase) may violate", f.Cell)
 			}
 			if f.Violation == nil || f.Violation.Kind == "" {
 				t.Fatalf("flagged run carries no violation: %+v", f)
@@ -141,7 +142,7 @@ func TestSweepStreamsFlaggedRuns(t *testing.T) {
 			if f.Fingerprint == 0 {
 				t.Fatalf("fingerprinting on, but flagged run has zero fingerprint")
 			}
-			if f.Scenario.Algo != "wpaxos" || f.Scenario.Seed == 0 {
+			if f.Scenario.Algo != "twophase" || f.Scenario.Seed == 0 {
 				t.Fatalf("flagged scenario not filled in: %+v", f.Scenario)
 			}
 		}

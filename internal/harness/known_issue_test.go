@@ -2,20 +2,16 @@ package harness
 
 import "testing"
 
-// TestWPaxosCrashOverlayStallKnownIssue is the executable anchor for the
-// ROADMAP open item: wPAXOS liveness can stall when a crash pattern meets
-// an unreliable overlay — here the Theorem 3.2 mid-broadcast crash of
-// node 0 on ring:9 with the antipodal-chords overlay, seed 4 — while
-// floodpaxos decides in the very same cell. The execution quiesces with
-// every survivor undecided (a liveness stall, not a livelock), so the
-// reproducer is cheap.
-//
-// KNOWN ISSUE: this test asserts the *stall*. It documents today's
-// behavior so the root-cause investigation (quorum accounting vs.
-// unreliable deliveries?) has a pinned, deterministic starting point. When
-// the bug is fixed this test will fail — then flip the assertions to
-// demand termination and move the cell into the canonical grids.
-func TestWPaxosCrashOverlayStallKnownIssue(t *testing.T) {
+// TestWPaxosCrashOverlayStallFixed pins the cell that used to be the
+// repo's flagship liveness stall: the Theorem 3.2 mid-broadcast crash of
+// node 0 on ring:9 with the antipodal-chords overlay, seed 4. Before the
+// Ω failure-detector redesign (suspicion + rotation + retransmit-until-
+// superseded queues), wPAXOS quiesced here with every survivor undecided
+// while floodpaxos decided in the very same cell; the stall was a ROADMAP
+// open item anchored by this test. Both algorithms must now terminate —
+// the recorded stall schedules survive as divergence regressions in
+// testdata/ (see replay_golden_test.go).
+func TestWPaxosCrashOverlayStallFixed(t *testing.T) {
 	cell := Scenario{
 		Topo:    Topo{Kind: "ring", N: 9},
 		Sched:   "random",
@@ -23,43 +19,68 @@ func TestWPaxosCrashOverlayStallKnownIssue(t *testing.T) {
 		Seed:    4,
 		Crashes: "midbroadcast",
 		Overlay: "chords",
-		// Cap events defensively: the stall quiesces, but if a fix ever
-		// turns it into a livelock this test should fail fast, not hang.
+		// Cap events defensively: termination should arrive well under the
+		// cap, and a regression back into a livelock should fail fast.
 		MaxEvents: 200_000,
 	}
 
-	wp := cell
-	wp.Algo = "wpaxos"
-	out, err := wp.Run()
-	if err != nil {
-		t.Fatal(err)
+	for _, algo := range []string{"wpaxos", "floodpaxos"} {
+		sc := cell
+		sc.Algo = algo
+		out, err := sc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Report.Termination {
+			t.Fatalf("%s stalled on ring:9 midbroadcast+chords seed 4 "+
+				"(events=%d quiescent=%v cutoff=%v): the leader-death liveness fix regressed",
+				algo, out.Result.Events, out.Result.Quiescent, out.Result.Cutoff)
+		}
+		if !out.Report.OK() {
+			t.Fatalf("%s termination broke another property: %v", algo, out.Report.Errors)
+		}
 	}
-	if !out.Result.Quiescent {
-		t.Fatalf("stall reproducer did not quiesce (events=%d cutoff=%v): the known issue changed shape",
-			out.Result.Events, out.Result.Cutoff)
-	}
-	if out.Report.Termination {
-		t.Fatal("wpaxos decided on ring:9 midbroadcast+chords seed 4: the known liveness stall " +
-			"is gone — update ROADMAP.md and flip this test to assert termination")
-	}
-	if out.Report.SomeoneDecided {
-		t.Fatalf("expected a full stall (no survivor decides), got a partial decision: %+v", out.Report)
-	}
-	// Safety must hold even while liveness fails: the stall is silence,
-	// not disagreement.
-	if !out.Report.Agreement || !out.Report.Validity {
-		t.Fatalf("stall broke safety, not just liveness: %+v", out.Report.Errors)
-	}
+}
 
-	// floodpaxos is robust in the same cell — the contrast that makes
-	// this a wPAXOS bug rather than a model artifact.
-	fp := cell
-	fp.Algo = "floodpaxos"
-	out, err = fp.Run()
+// TestFloodPaxosLeaderDeathExtraOverlayFixed pins the second retired stall:
+// floodpaxos on grid:3x3 with a seeded extra overlay, the max-id leader
+// (node 8) crashing at T=3, seed 1 — the cell recorded in
+// testdata/stall_floodpaxos_one3_extra.json. The monotone max-id election
+// waited on the corpse forever; the suspicion detector must now rotate the
+// proposership and terminate.
+func TestFloodPaxosLeaderDeathExtraOverlayFixed(t *testing.T) {
+	cell := Scenario{
+		Algo:      "floodpaxos",
+		Topo:      Topo{Kind: "grid", Rows: 3, Cols: 3},
+		Sched:     "random",
+		Fack:      4,
+		Seed:      1,
+		Crashes:   "one@3",
+		Overlay:   "extra:4@0.6",
+		MaxEvents: 200_000,
+	}
+	out, err := cell.Run()
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !out.Report.Termination {
+		t.Fatalf("floodpaxos stalled on ring:9 one@3+extra seed 6 "+
+			"(events=%d quiescent=%v cutoff=%v): the leader-death liveness fix regressed",
+			out.Result.Events, out.Result.Quiescent, out.Result.Cutoff)
 	}
 	if !out.Report.OK() {
-		t.Fatalf("floodpaxos no longer robust in the stall cell: %v", out.Report.Errors)
+		t.Fatalf("termination broke another property: %v", out.Report.Errors)
+	}
+	// maxid@T is the registry spelling of the same leader-death axis; the
+	// alias must reproduce the one@T schedule exactly.
+	alias := cell
+	alias.Crashes = "maxid@3"
+	out2, err := alias.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out2.Report.Termination || out2.Result.Events != out.Result.Events {
+		t.Fatalf("maxid@3 diverged from one@3: events %d vs %d",
+			out2.Result.Events, out.Result.Events)
 	}
 }

@@ -1,8 +1,8 @@
 package harness_test
 
 // This file is in the external test package: it exercises the committed
-// counterexample artifact through internal/explore, which itself builds on
-// harness — an in-package test would be an import cycle.
+// artifacts through internal/explore, which itself builds on harness — an
+// in-package test would be an import cycle.
 
 import (
 	"encoding/json"
@@ -11,77 +11,122 @@ import (
 	"github.com/absmac/absmac/internal/explore"
 )
 
-// stallArtifact is the minimized wPAXOS liveness counterexample produced
-// by `amacexplore -minimize` from the pinned stall cell (ring:9,
-// midbroadcast, chords, seed 4; minimized onto ring:8). See
-// known_issue_test.go for the live reproducer and ROADMAP.md for the
-// root-cause analysis.
-const stallArtifact = "testdata/stall_wpaxos_midbroadcast_chords.json"
+// The two stall_*.json artifacts record the liveness stalls the Ω
+// failure-detector redesign fixed: wPAXOS quiescing undecided under the
+// Theorem 3.2 mid-broadcast crash with the chords overlay, and floodpaxos
+// waiting forever on a dead max-id leader. The fixed algorithms broadcast
+// differently (membership gossip, sticky retransmission), so the recorded
+// schedules CANNOT replay cleanly anymore — and that is now the point:
+// each artifact is a divergence regression. If a replay ever stops
+// diverging and reproduces the recorded stall again, the liveness fix has
+// been reverted. The matching golden_*.json artifacts record the same
+// cells terminating under the fixed algorithms and must keep replaying
+// byte-identically.
+const (
+	legacyWPaxosStall = "testdata/stall_wpaxos_midbroadcast_chords.json"
+	legacyFloodStall  = "testdata/stall_floodpaxos_one3_extra.json"
 
-// TestStallArtifactReplaysByteIdentically is the golden replay test: the
-// committed artifact must replay with zero divergence, reproduce exactly
-// the violation it records (kind, quiescence, event count), and do so
-// deterministically — two replays yield byte-identical results. If this
-// test starts failing after an engine or scheduler change, the execution
-// semantics changed in a way that breaks recorded schedules; that is a
-// compatibility break, not a flake.
-func TestStallArtifactReplaysByteIdentically(t *testing.T) {
-	a, err := explore.ReadFile(stallArtifact)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if a.Violation == nil || a.Violation.Kind != explore.KindNonTermination {
-		t.Fatalf("artifact records %+v, want a non-termination violation", a.Violation)
-	}
+	goldenWPaxos = "testdata/golden_wpaxos_midbroadcast_chords.json"
+	goldenFlood  = "testdata/golden_floodpaxos_one3_extra.json"
+)
 
-	replay := func() (string, *explore.Violation) {
-		out, rp, err := a.Replay(nil)
+// TestLegacyStallArtifactsNoLongerReproduce pins the fix from the
+// artifact side: replaying either retired stall recording must detect
+// divergence (the fixed algorithm sends messages the recording never saw)
+// and must NOT end in the recorded non-termination — the fallback
+// execution terminates. Deterministically so: two replays agree byte for
+// byte.
+func TestLegacyStallArtifactsNoLongerReproduce(t *testing.T) {
+	for _, path := range []string{legacyWPaxosStall, legacyFloodStall} {
+		a, err := explore.ReadFile(path)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if rp.Diverged() {
-			t.Fatalf("committed artifact diverged at step %d: the engine no longer "+
-				"reproduces recorded schedules byte-identically", rp.DivergedAt())
+		if a.Violation == nil || a.Violation.Kind != explore.KindNonTermination {
+			t.Fatalf("%s records %+v, want a non-termination violation", path, a.Violation)
 		}
-		b, err := json.Marshal(out.Result)
-		if err != nil {
-			t.Fatal(err)
+		replay := func() string {
+			out, rp, err := a.Replay(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rp.Diverged() {
+				t.Fatalf("%s replayed divergence-free: the fixed algorithm reproduced its "+
+					"pre-fix broadcast schedule, which should be impossible", path)
+			}
+			if v := explore.Classify(out); v != nil {
+				t.Fatalf("%s still violates after divergence (%+v): the leader-death "+
+					"liveness fix regressed", path, v)
+			}
+			// Safety holds throughout, as it did in the recorded stall.
+			if !out.Report.Agreement || !out.Report.Validity {
+				t.Fatalf("%s replay broke safety: %v", path, out.Report.Errors)
+			}
+			b, err := json.Marshal(out.Result)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return string(b)
 		}
-		// Safety must hold in the replay exactly as it did live: the
-		// stall is silence, not disagreement.
-		if !out.Report.Agreement || !out.Report.Validity {
-			t.Fatalf("replayed stall broke safety: %v", out.Report.Errors)
+		if replay() != replay() {
+			t.Fatalf("%s: two replays differ", path)
 		}
-		return string(b), explore.Classify(out)
-	}
-
-	r1, v1 := replay()
-	if v1 == nil || v1.Kind != a.Violation.Kind {
-		t.Fatalf("replay classified as %+v, artifact records %s", v1, a.Violation.Kind)
-	}
-	if v1.Events != a.Violation.Events || v1.Quiescent != a.Violation.Quiescent {
-		t.Fatalf("replay shape (events=%d quiescent=%v) differs from recorded (events=%d quiescent=%v)",
-			v1.Events, v1.Quiescent, a.Violation.Events, a.Violation.Quiescent)
-	}
-	r2, _ := replay()
-	if r1 != r2 {
-		t.Fatal("two replays of the committed artifact differ")
 	}
 }
 
-// floodStallArtifact is the minimized floodpaxos liveness counterexample
-// the PR 5 campaign produced from the grid:3x3 stall cell that PR 4's
-// verification drive left open (crash pattern one@3 — the highest-index
-// node dies at t=3 — under the extra:4@0.6 overlay). Root cause in
-// ROADMAP.md: the max-id-heard Ω never demotes a dead leader, so every
-// survivor waits forever on node 8's proposals; the overlay is incidental.
-const floodStallArtifact = "testdata/stall_floodpaxos_one3_extra.json"
+// TestTerminatingGoldensReplayByteIdentically is the golden replay test
+// for the re-recorded cells: zero divergence, no violation (the artifacts
+// record healthy terminating runs), and deterministic — two replays yield
+// byte-identical results. If this test starts failing after an engine,
+// detector or scheduler change, the execution semantics changed in a way
+// that breaks recorded schedules; that is a compatibility break, not a
+// flake.
+func TestTerminatingGoldensReplayByteIdentically(t *testing.T) {
+	for _, path := range []string{goldenWPaxos, goldenFlood} {
+		a, err := explore.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Violation != nil {
+			t.Fatalf("%s records violation %+v, want a healthy terminating run", path, a.Violation)
+		}
+		replay := func() string {
+			out, rp, err := a.Replay(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rp.Diverged() {
+				t.Fatalf("%s diverged at step %d: the engine no longer reproduces "+
+					"recorded schedules byte-identically", path, rp.DivergedAt())
+			}
+			if !out.Report.OK() {
+				t.Fatalf("%s replay violated: %v", path, out.Report.Errors)
+			}
+			b, err := json.Marshal(out.Result)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return string(b)
+		}
+		if replay() != replay() {
+			t.Fatalf("%s: two replays differ", path)
+		}
+	}
+}
 
-// TestFloodStallArtifactReplaysByteIdentically is the golden replay test
-// for the campaign-produced floodpaxos artifact: zero divergence, exactly
-// the recorded violation, deterministic across replays.
-func TestFloodStallArtifactReplaysByteIdentically(t *testing.T) {
-	a, err := explore.ReadFile(floodStallArtifact)
+// twophaseStallArtifact is the minimized two-phase stall produced by
+// `amacexplore -minimize` from the ring:9 coordinator-crash chords cell
+// (minimized onto ring:3) — the paper's Theorem 3.2 counterexample, kept
+// as the repo's canonical violating artifact now that the wPAXOS and
+// floodpaxos stalls are fixed. See internal/explore/campaign_test.go for
+// the parallel-shrink determinism pin on the same file.
+const twophaseStallArtifact = "testdata/stall_twophase_coordinator_chords.json"
+
+// TestTwophaseStallArtifactReplaysByteIdentically: the committed artifact
+// must replay with zero divergence, reproduce exactly the violation it
+// records, and do so deterministically.
+func TestTwophaseStallArtifactReplaysByteIdentically(t *testing.T) {
+	a, err := explore.ReadFile(twophaseStallArtifact)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,40 +159,12 @@ func TestFloodStallArtifactReplaysByteIdentically(t *testing.T) {
 	}
 }
 
-// TestFloodStallArtifactIsMinimal pins what the campaign's shrinker cut:
-// grid:RxC has no topology knob and the stall needs its crash, so the
-// reduction is all overlay-delivery pruning — the artifact must explain
-// the stall at a strictly lower shrinker cost (steps + deliveries +
-// 8*crashes, the minimizer's acceptance metric; pruning deliveries may
-// reshape the re-recorded flood into a few extra steps) than the raw
-// recording of the same cell.
-func TestFloodStallArtifactIsMinimal(t *testing.T) {
-	a, err := explore.ReadFile(floodStallArtifact)
-	if err != nil {
-		t.Fatal(err)
-	}
-	orig := a.Scenario
-	orig.MaxEvents = a.MaxEvents
-	_, sched, err := orig.RunRecorded()
-	if err != nil {
-		t.Fatal(err)
-	}
-	cost := func(steps, deliveries, crashes int) int { return steps + deliveries + 8*crashes }
-	got := cost(len(a.Schedule.Steps), a.Schedule.Deliveries(), len(a.Schedule.Crashes))
-	from := cost(len(sched.Steps), sched.Deliveries(), len(sched.Crashes))
-	if got >= from {
-		t.Fatalf("artifact cost %d, original stall %d — not minimized", got, from)
-	}
-	if got, from := a.Schedule.Deliveries(), sched.Deliveries(); got >= from {
-		t.Fatalf("artifact has %d deliveries, original stall %d — nothing pruned", got, from)
-	}
-}
-
-// TestStallArtifactIsMinimal pins the minimizer's value: the committed
-// artifact must be strictly smaller than a fresh recording of the original
+// TestTwophaseStallArtifactIsMinimal pins the minimizer's value: the
+// committed artifact (shrunk onto ring:3 with its overlay deliveries
+// pruned) must be strictly smaller than a fresh recording of the ring:9
 // stall cell it came from.
-func TestStallArtifactIsMinimal(t *testing.T) {
-	a, err := explore.ReadFile(stallArtifact)
+func TestTwophaseStallArtifactIsMinimal(t *testing.T) {
+	a, err := explore.ReadFile(twophaseStallArtifact)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -268,6 +268,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		timeout = DefaultTimeout
 	}
 
+	// Node goroutines read Graph.Neighbors concurrently; materialize the
+	// CSR now, while the graph is still single-threaded.
+	cfg.Graph.Freeze()
+
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 

@@ -49,10 +49,15 @@ func TestWPaxosOnMultihop(t *testing.T) {
 	for i, g := range cases {
 		inputs := mixed(g.N())
 		audit := wpaxos.NewCountAudit()
+		// Build nodes with New, not NewFactory: the factory enables
+		// send-buffer reuse, which relies on the delivery-before-ack
+		// guarantee of serialized substrates — this substrate hands the
+		// message pointer to concurrently running receivers.
+		cfg := wpaxos.Config{N: g.N(), Audit: audit}
 		res, err := Run(context.Background(), Config{
 			Graph:   g,
 			Inputs:  inputs,
-			Factory: wpaxos.NewFactory(wpaxos.Config{N: g.N(), Audit: audit}),
+			Factory: func(nc amac.NodeConfig) amac.Algorithm { return wpaxos.New(nc.Input, cfg) },
 			Fack:    2 * time.Millisecond,
 			Seed:    int64(i),
 		})

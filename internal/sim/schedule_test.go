@@ -108,8 +108,8 @@ func TestReplayDivergesOnPerturbationAndEmitsEvent(t *testing.T) {
 	if divergeEvents != 1 {
 		t.Fatalf("observer saw %d diverge events, want exactly 1", divergeEvents)
 	}
-	if !res.Quiescent && !res.Cutoff {
-		t.Fatal("perturbed replay neither quiesced nor hit the cap")
+	if !res.Quiescent && !res.Cutoff && !res.AllDecided() {
+		t.Fatal("perturbed replay neither terminated nor hit the cap")
 	}
 }
 
