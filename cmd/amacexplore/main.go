@@ -52,9 +52,15 @@
 // checked against the artifact's recorded violation (reproducing a
 // recorded violation is success). -trace FILE additionally dumps the
 // replay's full event trace as JSON Lines — the same format amacsim
-// -trace emits, one trace.JSONLEvent per line.
+// -trace emits, one trace.JSONLEvent per line — and -critpath prints the
+// replay's decide-latency critical path (internal/critpath): the causal
+// delivery chain behind the first decision with its latency attributed
+// to algorithm phases and stalls. A replayed schedule reproduces the
+// original execution exactly, so the breakdown is the one the recorded
+// run had (with -json it rides along as "critical_path").
 //
 //	amacexplore -replay internal/harness/testdata/stall_wpaxos_midbroadcast_chords.json
+//	amacexplore -replay stall.json -critpath
 //
 // Artifacts are indented JSON with this layout (explore.Artifact):
 //
@@ -85,6 +91,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/absmac/absmac/internal/critpath"
 	"github.com/absmac/absmac/internal/explore"
 	"github.com/absmac/absmac/internal/harness"
 	"github.com/absmac/absmac/internal/sim"
@@ -122,6 +129,7 @@ func main() {
 	// Replay mode.
 	replay := flag.String("replay", "", "re-verify a committed artifact file instead of exploring")
 	traceFile := flag.String("trace", "", "with -replay: dump the replay's event trace to this file as JSON Lines")
+	critPath := flag.Bool("critpath", false, "with -replay: extract the decide-latency critical path of the replayed execution (phase breakdown + causal hop chain)")
 
 	flag.Parse()
 
@@ -137,15 +145,18 @@ func main() {
 
 	if *replay != "" {
 		// The artifact fixes the scenario and the schedule.
-		replayOnly := map[string]bool{"replay": true, "trace": true, "json": true}
+		replayOnly := map[string]bool{"replay": true, "trace": true, "critpath": true, "json": true}
 		stray := harness.StrayFlags(flag.CommandLine, func(name string) bool { return !replayOnly[name] })
 		if len(stray) > 0 {
 			os.Exit(fail(fmt.Errorf("%s not allowed with -replay: the artifact carries the scenario, schedule and event cap", strings.Join(stray, ", "))))
 		}
-		os.Exit(runReplay(*replay, *traceFile, *jsonOut))
+		os.Exit(runReplay(*replay, *traceFile, *critPath, *jsonOut))
 	}
 	if *traceFile != "" {
 		os.Exit(fail(fmt.Errorf("-trace only applies with -replay")))
+	}
+	if *critPath {
+		os.Exit(fail(fmt.Errorf("-critpath only applies with -replay")))
 	}
 	if *gridMode {
 		stray := harness.StrayFlags(flag.CommandLine, func(name string) bool { return scenarioOnly[name] || name == "out" })
@@ -365,9 +376,12 @@ type replayOutput struct {
 	Diverged   bool               `json:"diverged"`
 	DivergedAt int                `json:"diverged_at"`
 	Reproduced bool               `json:"reproduced"`
+	// CritPath is the decide-latency critical path of the replayed
+	// execution (-critpath; spans always sum to decide_time).
+	CritPath *critpath.Report `json:"critical_path,omitempty"`
 }
 
-func runReplay(path, traceFile string, jsonOut bool) int {
+func runReplay(path, traceFile string, critPath, jsonOut bool) int {
 	a, err := explore.ReadFile(path)
 	if err != nil {
 		return fail(err)
@@ -379,6 +393,19 @@ func runReplay(path, traceFile string, jsonOut bool) int {
 		// last ring-buffer window of it.
 		rec = trace.New(trace.Unbounded)
 		observer = rec.Observer()
+	}
+	var coll *critpath.Collector
+	if critPath {
+		coll = critpath.NewCollector(critpath.ClassifierFor(a.Scenario.Algo))
+		if observer == nil {
+			observer = coll.Observer()
+		} else {
+			tr, cp := observer, coll.Observer()
+			observer = func(ev sim.Event) {
+				tr(ev)
+				cp(ev)
+			}
+		}
 	}
 	out, rp, err := a.Replay(observer)
 	if err != nil {
@@ -409,6 +436,9 @@ func runReplay(path, traceFile string, jsonOut bool) int {
 		Artifact: path, Violation: got, Recorded: a.Violation,
 		Diverged: rp.Diverged(), DivergedAt: rp.DivergedAt(), Reproduced: reproduced,
 	}
+	if coll != nil {
+		o.CritPath = coll.Extract()
+	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -426,6 +456,11 @@ func runReplay(path, traceFile string, jsonOut bool) int {
 			fmt.Printf("violation   %s: %v\n", got.Kind, got.Errors)
 		} else {
 			fmt.Println("violation   none")
+		}
+		if o.CritPath != nil {
+			if err := o.CritPath.WriteText(os.Stdout); err != nil {
+				return fail(err)
+			}
 		}
 		if reproduced {
 			fmt.Println("verdict     artifact reproduces")

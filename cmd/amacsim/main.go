@@ -24,6 +24,17 @@
 //	        -crash midbroadcast -overlay chords -record stall.json
 //	amacexplore -replay stall.json
 //
+// -metrics turns on the flight-recorder registry (internal/metrics) and
+// works in both modes. In single-cell mode it prints the registry's
+// name-sorted text dump after the run, followed by the decide-latency
+// critical path (internal/critpath): the causal delivery chain from the
+// first broadcast to the first decision, with the latency attributed to
+// algorithm phases and stalls. In sweep mode it adds an aggregated
+// "metrics" array to every JSON cell (counters summed, gauge high-water
+// marks maxed, histogram quantiles, across all runs of the cell);
+// without the flag the sweep output is byte-identical to a build without
+// the metrics layer, and the engine's hot path stays allocation-free.
+//
 // Sweep mode expands the cross product of comma-separated axes and runs it
 // on a GOMAXPROCS-wide worker pool, aggregating each (algo, topo, inputs,
 // sched, fack, crashes, overlay) cell over all seeds:
@@ -103,8 +114,10 @@ import (
 	"strings"
 
 	"github.com/absmac/absmac/internal/consensus"
+	"github.com/absmac/absmac/internal/critpath"
 	"github.com/absmac/absmac/internal/explore"
 	"github.com/absmac/absmac/internal/harness"
+	"github.com/absmac/absmac/internal/metrics"
 	"github.com/absmac/absmac/internal/sim"
 	"github.com/absmac/absmac/internal/trace"
 )
@@ -121,6 +134,7 @@ func main() {
 	crash := flag.String("crash", "none", "crash pattern name[@T]: "+strings.Join(harness.CrashPatterns(), " | "))
 	overlay := flag.String("overlay", "none", "unreliable overlay family[:param][@Q]: "+strings.Join(harness.Overlays(), " | "))
 	verbose := flag.Bool("v", false, "print the full event trace (single-cell mode only)")
+	metricsOn := flag.Bool("metrics", false, "flight-recorder metrics: print the registry and the decide-latency critical path after a single run, or add aggregated per-cell metric rows to sweep output")
 	traceFile := flag.String("trace", "", "dump the full event trace to this file as JSON Lines (single-cell mode only)")
 	recordFile := flag.String("record", "", "record the execution's schedule to this counterexample artifact file (single-cell mode only; replay with amacexplore -replay)")
 
@@ -133,6 +147,8 @@ func main() {
 
 	// Flags have no effect outside their mode; fail loudly rather than
 	// let the user attribute results to a flag that was dropped.
+	// (-metrics is deliberately in neither set: it means something in both
+	// modes.)
 	singleOnly := harness.NameSet([]string{"algo", "topo", "sched", "fack", "seed", "crash", "overlay", "v", "trace", "record"})
 	sweepOnly := harness.NameSet(axes.Names(), []string{"json"})
 	stray := harness.StrayFlags(flag.CommandLine, func(name string) bool {
@@ -152,9 +168,9 @@ func main() {
 		if err != nil {
 			os.Exit(fail(err))
 		}
-		os.Exit(runSweep(grid, *axes.Workers, *jsonOut))
+		os.Exit(runSweep(grid, *axes.Workers, *jsonOut, *metricsOn))
 	}
-	os.Exit(runSingle(*algo, *topo, *sched, *inputs, *crash, *overlay, *traceFile, *recordFile, *fack, *seed, *verbose))
+	os.Exit(runSingle(*algo, *topo, *sched, *inputs, *crash, *overlay, *traceFile, *recordFile, *fack, *seed, *verbose, *metricsOn))
 }
 
 func fail(err error) int {
@@ -162,12 +178,19 @@ func fail(err error) int {
 	return 2
 }
 
-func runSingle(algo, topo, sched, inputs, crash, overlay, traceFile, recordFile string, fack, seed int64, verbose bool) int {
+func runSingle(algo, topo, sched, inputs, crash, overlay, traceFile, recordFile string, fack, seed int64, verbose, metricsOn bool) int {
 	t, err := harness.ParseTopo(topo)
 	if err != nil {
 		return fail(err)
 	}
 	sc := harness.Scenario{Algo: algo, Topo: t, Inputs: inputs, Sched: sched, Fack: fack, Seed: seed, Crashes: crash, Overlay: overlay}
+	var reg *metrics.Registry
+	var coll *critpath.Collector
+	if metricsOn {
+		reg = metrics.New()
+		sc.Metrics = reg // flows into every config built from the scenario
+		coll = critpath.NewCollector(critpath.ClassifierFor(algo))
+	}
 	// The display config: the summary lines print facts (edge counts, the
 	// crash schedule, the overlay graph) that Outcome does not carry. In
 	// -record mode RunRecorded builds its own identical config — scenario
@@ -182,8 +205,9 @@ func runSingle(algo, topo, sched, inputs, crash, overlay, traceFile, recordFile 
 		// Unbounded: -v and -trace promise the FULL trace, not the last
 		// ring-buffer window of it.
 		rec = trace.New(trace.Unbounded)
-		cfg.Observer = rec.Observer()
 	}
+	obs := chainObservers(rec, coll)
+	cfg.Observer = obs
 	var res *sim.Result
 	var rep *consensus.Report
 	diameter := -1
@@ -193,8 +217,8 @@ func runSingle(algo, topo, sched, inputs, crash, overlay, traceFile, recordFile 
 		// run is byte-identical to an unrecorded one.
 		var out *harness.Outcome
 		var schedule *sim.Schedule
-		if rec != nil {
-			out, schedule, err = sc.RunRecorded(rec.Observer())
+		if obs != nil {
+			out, schedule, err = sc.RunRecorded(obs)
 		} else {
 			out, schedule, err = sc.RunRecorded()
 		}
@@ -267,6 +291,16 @@ func runSingle(algo, topo, sched, inputs, crash, overlay, traceFile, recordFile 
 	}
 	fmt.Printf("traffic     %d broadcasts, %d deliveries, %d discards\n", res.Broadcasts, res.Deliveries, res.Discards)
 	fmt.Printf("agreement   %v\nvalidity    %v\ntermination %v\n", rep.Agreement, rep.Validity, rep.Termination)
+	if metricsOn {
+		fmt.Println("\nmetrics:")
+		if err := reg.WriteText(os.Stdout); err != nil {
+			return fail(err)
+		}
+		fmt.Println()
+		if err := coll.Extract().WriteText(os.Stdout); err != nil {
+			return fail(err)
+		}
+	}
 	if len(rep.Errors) > 0 {
 		fmt.Printf("errors      %v\n", rep.Errors)
 		return 1
@@ -274,7 +308,26 @@ func runSingle(algo, topo, sched, inputs, crash, overlay, traceFile, recordFile 
 	return 0
 }
 
-func runSweep(grid harness.Grid, workers int, jsonOut bool) int {
+// chainObservers fans one engine-event stream out to the trace recorder
+// and the critical-path collector, either of which may be absent. Returns
+// nil when both are, so the engine skips observer dispatch entirely.
+func chainObservers(rec *trace.Recorder, coll *critpath.Collector) func(sim.Event) {
+	switch {
+	case rec == nil && coll == nil:
+		return nil
+	case coll == nil:
+		return rec.Observer()
+	case rec == nil:
+		return coll.Observer()
+	}
+	tr, cp := rec.Observer(), coll.Observer()
+	return func(ev sim.Event) {
+		tr(ev)
+		cp(ev)
+	}
+}
+
+func runSweep(grid harness.Grid, workers int, jsonOut, metricsOn bool) int {
 	// Expand to cell work-units and sweep them directly: one worker runs
 	// all seeds of a cell on one reusable engine, and workers share the
 	// sweep's topology/diameter/overlay caches.
@@ -282,7 +335,7 @@ func runSweep(grid harness.Grid, workers int, jsonOut bool) int {
 	if err != nil {
 		return fail(err)
 	}
-	cells, err := harness.SweepCells(work, workers)
+	cells, err := harness.SweepCellsOpts(work, harness.SweepOptions{Workers: workers, Metrics: metricsOn})
 	if err != nil {
 		return fail(err)
 	}

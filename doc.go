@@ -187,4 +187,35 @@
 //     k-node ring pods joined by C cross links per pod). Degree stays
 //     fixed as n grows, which is the regime where the abstract MAC
 //     layer's per-broadcast costs stay flat.
+//
+// # Observability
+//
+// internal/metrics is a flight-recorder registry built for the engine's
+// hot path: fixed slots allocated at registration (counters, gauges with
+// high-water marks, power-of-two-bucket histograms), handles that are
+// plain value structs, and every mutation a branch plus an array write —
+// no locks, no interfaces, no allocation. A nil registry hands out
+// disabled handles whose mutators are one predictable branch, so
+// instrumented code never guards call sites and the metrics-off
+// configuration is the one the allocation pins in BENCH_engine.json
+// measure. Export (WriteText, Snapshot) walks slots sorted by name —
+// never a map — so output is deterministic and sweep cell JSON stays
+// byte-identical at any worker width; the golden grid JSON does not
+// change at all unless SweepOptions.Metrics is set. Wall-clock
+// timestamps appear in exactly one place: the periodic text exposition
+// of the live/netmac substrates (live.ExposeMetrics), which the
+// nowallclock scope already exempts.
+//
+// internal/critpath answers "where did the decide latency go": it
+// observes a run through sim.Config.Observer, then walks the causal
+// delivery chain backward from the first decide to the first broadcast,
+// attributing each hop to an algorithm phase (election, proposal,
+// aggregation, decide) and each queueing delay to a stall span. The
+// spans partition (0, decide-time] exactly — they sum to the decide
+// time by construction, and a golden test pins both committed replay
+// artifacts' breakdowns. `amacsim -metrics` prints the registry and the
+// critical path after a single run (and adds aggregated per-cell metric
+// rows to sweep JSON); `amacexplore -replay -critpath` recovers the
+// same breakdown from a recorded artifact, because a replayed schedule
+// produces the identical execution.
 package absmac

@@ -16,7 +16,11 @@
 // (internal/live).
 package amac
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/absmac/absmac/internal/metrics"
+)
 
 // NodeID identifies a node. IDs are unique and comparable. Anonymous
 // algorithms (studied in Section 3.2 of the paper) simply never read them.
@@ -94,6 +98,12 @@ type NodeConfig struct {
 	ID NodeID
 	// Input is the node's consensus initial value.
 	Input Value
+	// Metrics, when non-nil, is the substrate's metrics registry.
+	// Algorithms register named slots against it (registration dedups by
+	// name, so all nodes of a run share one slot per metric); a nil
+	// registry hands back disabled handles that no-op, so algorithms
+	// instrument unconditionally.
+	Metrics *metrics.Registry
 }
 
 // Factory builds one node's algorithm instance. A Factory is invoked once

@@ -28,6 +28,7 @@ import (
 
 	"github.com/absmac/absmac/internal/amac"
 	"github.com/absmac/absmac/internal/core/wpaxos"
+	"github.com/absmac/absmac/internal/metrics"
 )
 
 // LeaderMsg gossips one known member id (the detector's membership
@@ -183,6 +184,16 @@ type Node struct {
 	// message.
 	reuse   bool
 	msgFree []*Combined
+
+	// mreg is the substrate's metrics registry (nil when metrics are off);
+	// the handles below are zero (disabled) then. propSent distinguishes a
+	// sticky proposition's retransmissions from its first send.
+	mreg         *metrics.Registry
+	mProposals   metrics.Counter
+	mRetries     metrics.Counter
+	mNacks       metrics.Counter
+	mRetransmits metrics.Counter
+	propSent     bool
 }
 
 // New returns a flood-paxos node knowing the network size n. Nodes built
@@ -224,8 +235,20 @@ func NewFactory(n int) amac.Factory {
 	return func(cfg amac.NodeConfig) amac.Algorithm {
 		a := New(cfg.Input, n)
 		a.reuse = true
+		a.instrument(cfg.Metrics)
 		return a
 	}
+}
+
+// instrument registers the node's metric slots against r (nil-safe; all
+// nodes share the slots, so values are network totals) and stashes the
+// registry so Start can instrument the shared Ω detector.
+func (a *Node) instrument(r *metrics.Registry) {
+	a.mreg = r
+	a.mProposals = r.Counter("flood_proposals")
+	a.mRetries = r.Counter("flood_retries")
+	a.mNacks = r.Counter("flood_nacks")
+	a.mRetransmits = r.Counter("flood_retransmits")
 }
 
 // getMsg takes a broadcast buffer from the pool, or allocates one.
@@ -243,6 +266,7 @@ func (a *Node) Start(api amac.API) {
 	a.api = api
 	a.id = api.ID()
 	a.det = wpaxos.NewDetector(a.id, a.n)
+	a.det.Instrument(a.mreg)
 	a.lastChange = -1
 	if a.n == 1 {
 		a.decide(a.input)
@@ -363,6 +387,11 @@ func (a *Node) pump() {
 			ensure()
 			c.buf.proposer = a.propQ
 			c.Proposer = &c.buf.proposer
+			if a.propSent {
+				a.mRetransmits.Inc()
+			} else {
+				a.propSent = true
+			}
 		}
 		if len(a.respQ) > 0 {
 			// Sticky cycle: pending responses are re-broadcast
@@ -406,6 +435,7 @@ func (a *Node) onProposer(m ProposerMsg) {
 		(a.propQ.Num == m.Num && a.propQ.Kind == wpaxos.Prepare && m.Kind == wpaxos.Propose) {
 		a.hasPropQ = true
 		a.propQ = m
+		a.propSent = false
 	}
 	a.respond(m)
 }
@@ -540,6 +570,7 @@ func (a *Node) resetTallies() {
 }
 
 func (a *Node) startProposal() {
+	a.mProposals.Inc()
 	a.triesLeft--
 	a.maxTagSeen++
 	a.num = wpaxos.ProposalNum{Tag: a.maxTagSeen, ID: a.id}
@@ -551,6 +582,7 @@ func (a *Node) startProposal() {
 	a.noteProposerNum(a.num)
 	a.hasPropQ = true
 	a.propQ = m
+	a.propSent = false
 	a.respond(m)
 }
 
@@ -582,6 +614,7 @@ func (a *Node) consume(r ResponseMsg) {
 		}
 		return
 	}
+	a.mNacks.Inc()
 	a.nacks[r.Acceptor] = true
 	if 2*len(a.nacks) > a.n {
 		a.retry()
@@ -601,6 +634,7 @@ func (a *Node) beginPropose() {
 	a.propVals[a.num] = a.value
 	a.hasPropQ = true
 	a.propQ = m
+	a.propSent = false
 	a.respond(m)
 }
 
@@ -609,6 +643,7 @@ func (a *Node) beginPropose() {
 // re-arm (or the next change event) hands out a fresh budget, so no
 // proposer is gated forever while it believes itself leader.
 func (a *Node) retry() {
+	a.mRetries.Inc()
 	if a.det.Omega() != a.id || a.triesLeft <= 0 {
 		a.phase = 0
 		a.num = wpaxos.ProposalNum{}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"github.com/absmac/absmac/internal/amac"
+	"github.com/absmac/absmac/internal/metrics"
 )
 
 // This file implements the Ω failure detector shared by wPAXOS and the
@@ -74,6 +75,14 @@ type Detector struct {
 	sendAt    int64 // time of the in-flight broadcast, -1 when none
 	lastNovel int64
 	mult      int64 // doubling multiplier for the silence bound
+
+	// Metric handles (zero = disabled; see Instrument). All nodes of a
+	// run share the slots, so the counts are network-wide totals.
+	mSuspicions metrics.Counter
+	mWraps      metrics.Counter
+	mRearms     metrics.Counter
+	mFhat       metrics.Gauge
+	mMult       metrics.Gauge
 }
 
 // maxDetectorMult caps the doubling so the bound cannot overflow; at the
@@ -93,6 +102,20 @@ func NewDetector(self amac.NodeID, n int) *Detector {
 		sendAt:    -1,
 		mult:      1,
 	}
+}
+
+// Instrument registers the detector's metric slots against r (nil-safe:
+// a nil registry leaves the zero, disabled handles in place). Slot names
+// are shared across all nodes and both algorithms — suspicions, wrap
+// re-promotions and re-arms are network-wide totals, det_fhat's
+// high-water is the largest Fack estimate any node formed, det_mult the
+// largest silence-bound multiplier reached.
+func (d *Detector) Instrument(r *metrics.Registry) {
+	d.mSuspicions = r.Counter("det_suspicions")
+	d.mWraps = r.Counter("det_wraps")
+	d.mRearms = r.Counter("det_rearms")
+	d.mFhat = r.Gauge("det_fhat")
+	d.mMult = r.Gauge("det_mult")
 }
 
 // Omega returns the current leader estimate: the maximum unsuspected
@@ -166,6 +189,7 @@ func (d *Detector) NoteAck(now int64) {
 	}
 	if delay > d.fhat {
 		d.fhat = delay
+		d.mFhat.Set(d.fhat)
 	}
 	d.sendAt = -1
 }
@@ -185,13 +209,16 @@ func (d *Detector) Check(now int64) DetectorEvent {
 	d.lastNovel = now
 	if d.mult < maxDetectorMult {
 		d.mult *= 2
+		d.mMult.Set(d.mult)
 	}
 	if d.omega != d.self {
 		d.suspected[d.omega] = true
+		d.mSuspicions.Inc()
 		d.elect()
 		return DetectorDemoted
 	}
 	if len(d.suspected) == 0 {
+		d.mRearms.Inc()
 		return DetectorRearm
 	}
 	// This node rotated all the way down to itself and still nothing
@@ -201,7 +228,9 @@ func (d *Detector) Check(now int64) DetectorEvent {
 		delete(d.suspected, m)
 	}
 	d.elect()
+	d.mWraps.Inc()
 	if d.omega == d.self {
+		d.mRearms.Inc()
 		return DetectorRearm
 	}
 	return DetectorDemoted

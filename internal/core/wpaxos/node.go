@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/absmac/absmac/internal/amac"
+	"github.com/absmac/absmac/internal/metrics"
 )
 
 // Config carries a node's knowledge assumptions and instrumentation.
@@ -34,6 +35,7 @@ func NewFactory(cfg Config) amac.Factory {
 	return func(nc amac.NodeConfig) amac.Algorithm {
 		a := New(nc.Input, cfg)
 		a.reuse = true
+		a.instrument(nc.Metrics)
 		return a
 	}
 }
@@ -112,6 +114,15 @@ type Node struct {
 	// times for the GST decomposition of experiment E6.
 	lastLeaderUpdate, lastLeaderDistUpdate int64
 
+	// mreg is the metrics registry handed down by the substrate (nil when
+	// metrics are off); met holds the node's counter handles (zero =
+	// disabled). propSent marks the sticky proposer queue entry as having
+	// been broadcast at least once, so retransmissions can be told apart
+	// from first sends.
+	mreg     *metrics.Registry
+	met      nodeMetrics
+	propSent bool
+
 	// reuse recycles the per-pump send buffers below across broadcasts
 	// (factory-built nodes only; see NewFactory). The queues themselves
 	// are value slices, so steady-state pumping does not allocate.
@@ -167,8 +178,28 @@ func NewGeneralFactory(cfg Config) amac.Factory {
 	return func(nc amac.NodeConfig) amac.Algorithm {
 		a := NewGeneral(nc.Input, cfg)
 		a.reuse = true
+		a.instrument(nc.Metrics)
 		return a
 	}
+}
+
+// nodeMetrics is the wPAXOS node's counter set. All nodes of a run share
+// the slots (registration dedups by name), so values are network totals.
+type nodeMetrics struct {
+	proposals   metrics.Counter // proposal numbers started
+	retries     metrics.Counter // proposals abandoned after a nack majority
+	nacks       metrics.Counter // negative fast-path responses consumed
+	retransmits metrics.Counter // sticky proposer-queue re-broadcasts
+}
+
+// instrument registers the node's metric slots against r (nil-safe) and
+// stashes the registry so Start can instrument the failure detector too.
+func (nd *Node) instrument(r *metrics.Registry) {
+	nd.mreg = r
+	nd.met.proposals = r.Counter("wpaxos_proposals")
+	nd.met.retries = r.Counter("wpaxos_retries")
+	nd.met.nacks = r.Counter("wpaxos_nacks")
+	nd.met.retransmits = r.Counter("wpaxos_retransmits")
 }
 
 // Start implements amac.Algorithm.
@@ -176,6 +207,7 @@ func (nd *Node) Start(api amac.API) {
 	nd.api = api
 	nd.id = api.ID()
 	nd.det = NewDetector(nd.id, nd.n)
+	nd.det.Instrument(nd.mreg)
 	nd.change.init()
 	nd.tree.init(nd.id)
 	if nd.n == 1 {
@@ -276,6 +308,11 @@ func (nd *Node) pump() {
 		}
 		if nd.propQ != nil {
 			c.Proposer = nd.propQ // sticky: retransmitted until superseded
+			if nd.propSent {
+				nd.met.retransmits.Inc()
+			} else {
+				nd.propSent = true
+			}
 		}
 		if r, ok := nd.popResp(); ok {
 			if nd.reuse {
@@ -460,6 +497,7 @@ func (nd *Node) enqueueProp(m ProposerMsg) {
 	cur := nd.propQ
 	if cur == nil || cur.Num.Less(m.Num) || (cur.Num == m.Num && cur.Kind == Prepare && m.Kind == Propose) {
 		nd.propQ = &m
+		nd.propSent = false
 	}
 }
 
@@ -641,6 +679,7 @@ func (nd *Node) generateProposal() {
 }
 
 func (nd *Node) startProposal() {
+	nd.met.proposals.Inc()
 	nd.prop.triesLeft--
 	tag := nd.prop.maxTagSeen + 1
 	nd.prop.maxTagSeen = tag
@@ -695,6 +734,7 @@ func (nd *Node) consumeResponse(r ResponseMsg) {
 				nd.beginPropose()
 			}
 		} else {
+			nd.met.nacks.Add(r.Count)
 			nd.prop.nacks += r.Count
 			if 2*nd.prop.nacks > int64(nd.n) {
 				nd.retry()
@@ -709,6 +749,7 @@ func (nd *Node) consumeResponse(r ResponseMsg) {
 				nd.decideQ = &DecideMsg{Val: nd.prop.value}
 			}
 		} else {
+			nd.met.nacks.Add(r.Count)
 			nd.prop.nacks += r.Count
 			if 2*nd.prop.nacks > int64(nd.n) {
 				nd.retry()
@@ -742,6 +783,7 @@ func (nd *Node) beginPropose() {
 // next change event) gives it a fresh budget, so no proposer is gated
 // forever while it believes itself leader.
 func (nd *Node) retry() {
+	nd.met.retries.Inc()
 	if nd.det.Omega() != nd.id || nd.prop.triesLeft <= 0 {
 		nd.prop.phase = propIdle
 		nd.prop.num = ProposalNum{}

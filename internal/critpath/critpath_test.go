@@ -1,0 +1,120 @@
+package critpath
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/absmac/absmac/internal/amac"
+	"github.com/absmac/absmac/internal/sim"
+)
+
+type fakeMsg struct{ phase Phase }
+
+func (fakeMsg) IDCount() int { return 0 }
+
+func fakeClassify(m amac.Message) Phase { return m.(fakeMsg).phase }
+
+func ev(kind sim.EventKind, t int64, node, peer int, m amac.Message) sim.Event {
+	return sim.Event{Kind: kind, Time: t, Node: node, Peer: peer, Message: m}
+}
+
+// TestExtractChain builds a three-hop causal chain by hand and checks the
+// backward walk reconstructs it with the partition invariant intact:
+//
+//	t=0  node 0 broadcasts (election)
+//	t=3  node 1 receives from 0            -> transit 3 (election)
+//	t=5  node 1 broadcasts (proposal)      -> stall 2 at node 1
+//	t=9  node 2 receives from 1            -> transit 4 (proposal)
+//	t=10 node 2 decides                    -> stall 1 at node 2
+func TestExtractChain(t *testing.T) {
+	c := NewCollector(fakeClassify)
+	obs := c.Observer()
+	obs(ev(sim.EventBroadcast, 0, 0, -1, fakeMsg{PhaseElection}))
+	obs(ev(sim.EventDeliver, 3, 1, 0, fakeMsg{PhaseElection}))
+	obs(ev(sim.EventBroadcast, 5, 1, -1, fakeMsg{PhaseProposal}))
+	obs(ev(sim.EventDeliver, 9, 2, 1, fakeMsg{PhaseProposal}))
+	obs(ev(sim.EventDecide, 10, 2, -1, nil))
+
+	rep := c.Extract()
+	if !rep.Decided || rep.DecideTime != 10 || rep.DecideNode != 2 {
+		t.Fatalf("decide: got %+v", rep)
+	}
+	if rep.Sum() != rep.DecideTime {
+		t.Fatalf("spans sum to %d, decide time %d", rep.Sum(), rep.DecideTime)
+	}
+	want := map[string]int64{"election": 3, "proposal": 4, "stall": 3}
+	if len(rep.Spans) != len(want) {
+		t.Fatalf("spans: %+v", rep.Spans)
+	}
+	for _, sp := range rep.Spans {
+		if want[sp.Phase] != sp.Ticks {
+			t.Fatalf("span %s: got %d want %d", sp.Phase, sp.Ticks, want[sp.Phase])
+		}
+	}
+	if len(rep.Hops) != 2 {
+		t.Fatalf("hops: %+v", rep.Hops)
+	}
+	if h := rep.Hops[0]; h.From != 0 || h.To != 1 || h.SentAt != 0 || h.RecvAt != 3 || h.StallAt != 2 {
+		t.Fatalf("hop 0: %+v", h)
+	}
+	if h := rep.Hops[1]; h.From != 1 || h.To != 2 || h.SentAt != 5 || h.RecvAt != 9 || h.StallAt != 1 {
+		t.Fatalf("hop 1: %+v", h)
+	}
+}
+
+// TestExtractLatestDeliveryWins: when a node has several deliveries before
+// its decision, the walk follows the latest one at or before the cut — the
+// most recent information the action could have depended on.
+func TestExtractLatestDeliveryWins(t *testing.T) {
+	c := NewCollector(fakeClassify)
+	obs := c.Observer()
+	obs(ev(sim.EventBroadcast, 0, 0, -1, fakeMsg{PhaseElection}))
+	obs(ev(sim.EventDeliver, 2, 1, 0, nil))
+	obs(ev(sim.EventBroadcast, 4, 0, -1, fakeMsg{PhaseDecide}))
+	obs(ev(sim.EventDeliver, 6, 1, 0, nil)) // latest: carries the decide flood
+	obs(ev(sim.EventDecide, 6, 1, -1, nil))
+
+	rep := c.Extract()
+	if len(rep.Hops) != 1 || rep.Hops[0].Phase != "decide" || rep.Hops[0].SentAt != 4 {
+		t.Fatalf("hops: %+v", rep.Hops)
+	}
+	// decide transit (4,6] = 2, sender's local span (0,4] = stall.
+	if rep.Sum() != 6 {
+		t.Fatalf("sum %d != 6", rep.Sum())
+	}
+}
+
+// TestExtractNoDecision: an undecided run yields an empty, explicit report.
+func TestExtractNoDecision(t *testing.T) {
+	c := NewCollector(fakeClassify)
+	c.Observer()(ev(sim.EventBroadcast, 0, 0, -1, fakeMsg{PhaseElection}))
+	rep := c.Extract()
+	if rep.Decided || rep.DecideTime != -1 || len(rep.Spans) != 0 {
+		t.Fatalf("got %+v", rep)
+	}
+	var sb strings.Builder
+	if err := rep.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no decision") {
+		t.Fatalf("text: %q", sb.String())
+	}
+}
+
+// TestExtractDecideAtZero: a node that decides at time 0 on local input
+// produces a zero-length path, not a crash.
+func TestExtractDecideAtZero(t *testing.T) {
+	c := NewCollector(nil)
+	c.Observer()(ev(sim.EventDecide, 0, 0, -1, nil))
+	rep := c.Extract()
+	if !rep.Decided || rep.Sum() != 0 || len(rep.Hops) != 0 {
+		t.Fatalf("got %+v", rep)
+	}
+}
+
+func TestClassifierForUnknown(t *testing.T) {
+	cl := ClassifierFor("nope")
+	if p := cl(fakeMsg{PhaseDecide}); p != PhaseOther {
+		t.Fatalf("unknown algo classified %v", p)
+	}
+}

@@ -52,6 +52,38 @@ func BenchmarkSweepCell(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepCellMetrics is BenchmarkSweepCell with per-cell metric
+// aggregation on (SweepOptions.Metrics): one registry per worker, one
+// merge per run, one aggregate snapshot per cell. Measured next to the
+// pinned metrics-off number so the overhead stays visibly
+// O(registered slots + runs), never O(events).
+func BenchmarkSweepCellMetrics(b *testing.B) {
+	grid := Grid{
+		Algos:    []string{"floodpaxos"},
+		Topos:    []Topo{{Kind: "grid", Rows: 3, Cols: 3}},
+		Scheds:   []string{"random"},
+		Facks:    []int64{4},
+		Crashes:  []string{"one@0"},
+		Overlays: []string{"extra:4"},
+		Seeds:    []int64{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	scs, err := grid.Scenarios()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells, err := sweepGroups(groupScenarios(scs), SweepOptions{Metrics: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != 1 || !cells[0].OK() || len(cells[0].Metrics) == 0 {
+			b.Fatalf("sweep cell broken: %+v", cells)
+		}
+	}
+}
+
 // BenchmarkSweepGrid measures a whole multi-cell grid end to end, the
 // workload the cell-grouped sweep pipeline exists for: cells share cached
 // topologies, diameters and overlays across the cross product, and each

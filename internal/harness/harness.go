@@ -67,6 +67,7 @@ import (
 	"github.com/absmac/absmac/internal/core/wpaxos"
 	"github.com/absmac/absmac/internal/ext/benor"
 	"github.com/absmac/absmac/internal/graph"
+	"github.com/absmac/absmac/internal/metrics"
 	"github.com/absmac/absmac/internal/sim"
 )
 
@@ -101,6 +102,13 @@ type Scenario struct {
 	// default). Sweeps set it so one non-quiescent cell cannot stall the
 	// whole grid.
 	MaxEvents int `json:"-"`
+	// Metrics optionally installs a flight-recorder registry on the
+	// execution (see internal/metrics; `amacsim -metrics` sets it). Never
+	// serialized — a replayed artifact produces identical metrics because
+	// the execution is identical, not because the registry is recorded.
+	// Sweeps ignore it and install per-worker registries through
+	// SweepOptions.Metrics instead.
+	Metrics *metrics.Registry `json:"-"`
 	// InputValues optionally overrides Inputs with an explicit
 	// assignment (length must match the topology's node count).
 	InputValues []amac.Value `json:"-"`
@@ -364,6 +372,7 @@ func (s Scenario) build(c *caches) (sim.Config, buildInfo, error) {
 		Unreliable:      unreliable,
 		Crashes:         crashes,
 		MaxEvents:       s.MaxEvents,
+		Metrics:         s.Metrics,
 		StopWhenDecided: true,
 		Audit:           true,
 	}, info, nil
@@ -406,11 +415,17 @@ type runner struct {
 // and the run's schedule-coverage digest is returned alongside the
 // outcome; without it the wrapper is never constructed and the second
 // return is 0 — the sweep hot path pays nothing for the capability.
-func (r *runner) run(s Scenario, fingerprint bool) (*Outcome, uint64, error) {
+// A non-nil reg is installed as the run's metrics registry; the engine's
+// Reset zeroes it, so after run returns it holds exactly this run's
+// values (callers merge before the next run). Nil keeps the instrumented
+// paths on disabled handles — that is the configuration the allocation
+// pins in BENCH_engine.json measure.
+func (r *runner) run(s Scenario, fingerprint bool, reg *metrics.Registry) (*Outcome, uint64, error) {
 	cfg, info, err := s.build(r.caches)
 	if err != nil {
 		return nil, 0, err
 	}
+	cfg.Metrics = reg
 	var fp *sim.Fingerprinter
 	if fingerprint {
 		fp = sim.NewFingerprinter(cfg.Scheduler, cfg.Crashes)

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"github.com/absmac/absmac/internal/consensus"
+	"github.com/absmac/absmac/internal/metrics"
 	"github.com/absmac/absmac/internal/stats"
 )
 
@@ -211,8 +212,66 @@ type Cell struct {
 	// byte-identical to earlier releases.
 	DistinctSchedules int `json:"distinct_schedules,omitempty"`
 
+	// Metrics lists the cell's aggregated flight-recorder metrics (engine,
+	// detector and algorithm counters summed across the cell's runs; gauge
+	// high-waters maxed), sorted by name with all-zero rows dropped. Nil
+	// unless the sweep asked for metrics (SweepOptions.Metrics), and
+	// omitted from the JSON then, so metric-free sweep output is
+	// byte-identical to earlier releases.
+	Metrics []CellMetric `json:"metrics,omitempty"`
+
 	// Errors lists distinct consensus violations observed in the cell.
 	Errors []string `json:"errors,omitempty"`
+}
+
+// CellMetric is one aggregated flight-recorder metric of a cell. Counter
+// rows carry Value (summed across the cell's runs); gauge rows carry the
+// last run's Value plus the maximal High high-water; histogram rows carry
+// the merged Count/Sum and the merged distribution's p50/p99 bucket upper
+// bounds. Zero-valued fields are omitted, so each kind serializes only
+// its own columns.
+type CellMetric struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"`
+	Value int64  `json:"value,omitempty"`
+	High  int64  `json:"high,omitempty"`
+	Count int64  `json:"count,omitempty"`
+	Sum   int64  `json:"sum,omitempty"`
+	P50   int64  `json:"p50,omitempty"`
+	P99   int64  `json:"p99,omitempty"`
+}
+
+// cellMetrics converts an aggregation registry into the cell's metric
+// rows: registration-sorted (by name), all-zero rows dropped — a worker's
+// registry accumulates registrations across every cell it runs, so slots
+// belonging to other algorithms show up zeroed here and must not render.
+func cellMetrics(agg *metrics.Registry) []CellMetric {
+	samples := agg.Snapshot()
+	rows := make([]CellMetric, 0, len(samples))
+	for _, s := range samples {
+		switch s.Kind {
+		case "counter":
+			if s.Value == 0 {
+				continue
+			}
+			rows = append(rows, CellMetric{Name: s.Name, Kind: s.Kind, Value: s.Value})
+		case "gauge":
+			if s.Value == 0 && s.High == 0 {
+				continue
+			}
+			rows = append(rows, CellMetric{Name: s.Name, Kind: s.Kind, Value: s.Value, High: s.High})
+		case "histogram":
+			if s.Count == 0 {
+				continue
+			}
+			rows = append(rows, CellMetric{Name: s.Name, Kind: s.Kind, Count: s.Count, Sum: s.Sum,
+				P50: s.Quantile(50), P99: s.Quantile(99)})
+		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	return rows
 }
 
 // cellIdent is a scenario's cell identity: every axis except the seed,
@@ -411,6 +470,13 @@ type SweepOptions struct {
 	// executions. Cell.Runs then reports how many seeds actually ran.
 	// 0 means never stop early; setting it implies Fingerprint.
 	SaturateAfter int
+	// Metrics installs a per-worker metrics.Registry on every run and
+	// aggregates each cell's values into Cell.Metrics (counters sum across
+	// seeds, gauge high-waters max, histograms merge bucket-wise). Off by
+	// default: an unset flag hands the engine a nil registry — disabled
+	// handles all the way down — and the sweep hot path stays
+	// allocation-identical to a build without the feature.
+	Metrics bool
 }
 
 func (o SweepOptions) normalized() SweepOptions {
@@ -496,25 +562,38 @@ func sweepGroups(groups []*cellGroup, opts SweepOptions) ([]Cell, error) {
 	// Captured as individual locals, not via opts, so the options struct
 	// does not escape into the worker closures (the plain sweep path's
 	// allocation count is pinned by BENCH_engine.json).
-	fingerprint, onFlag, saturateAfter := opts.Fingerprint, opts.OnFlag, opts.SaturateAfter
+	fingerprint, onFlag, saturateAfter, metricsOn := opts.Fingerprint, opts.OnFlag, opts.SaturateAfter, opts.Metrics
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			r := &runner{caches: shared}
+			// One registry per worker, reset by the engine each run; its
+			// registrations persist across the worker's cells (they can
+			// include other algorithms' slots from earlier cells), which is
+			// why cellMetrics drops all-zero rows.
+			var reg *metrics.Registry
+			if metricsOn {
+				reg = metrics.New()
+			}
 			for gi := range work {
 				g := groups[gi]
 				acc := newCellAccum(len(g.scs))
+				var cellAgg *metrics.Registry
+				if metricsOn {
+					cellAgg = metrics.New()
+				}
 				ok := true
 				stale := 0
 				for k, s := range g.scs {
-					o, fp, err := r.run(s, fingerprint)
+					o, fp, err := r.run(s, fingerprint, reg)
 					if err != nil {
 						errs[gi] = cellErr{idx: g.idxs[k], sc: s, err: err}
 						ok = false
 						break
 					}
+					cellAgg.Merge(reg)
 					fresh := acc.add(o, fp, fingerprint)
 					if onFlag != nil {
 						if v := o.Violation(); v != nil {
@@ -533,6 +612,9 @@ func sweepGroups(groups []*cellGroup, opts SweepOptions) ([]Cell, error) {
 				}
 				if ok {
 					cells[gi] = acc.finish()
+					if metricsOn {
+						cells[gi].Metrics = cellMetrics(cellAgg)
+					}
 				}
 			}
 		}()

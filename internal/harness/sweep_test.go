@@ -338,3 +338,92 @@ func TestTableRender(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepMetricsAggregation: with SweepOptions.Metrics on, every cell
+// reports non-empty aggregated metric rows, sorted by name with no
+// leakage of another algorithm's slots (a worker's registry is reused
+// across cells), and the result is identical at any worker-pool width.
+func TestSweepMetricsAggregation(t *testing.T) {
+	cells, err := Grid{
+		Algos:  []string{"wpaxos", "floodpaxos"},
+		Topos:  []Topo{{Kind: "ring", N: 6}},
+		Scheds: []string{"random"},
+		Facks:  []int64{3},
+		Seeds:  []int64{1, 2, 3},
+	}.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := func(workers int) []Cell {
+		out, err := SweepCellsOpts(cells, SweepOptions{Workers: workers, Metrics: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := sweep(1)
+	for _, c := range serial {
+		if len(c.Metrics) == 0 {
+			t.Fatalf("cell %s: no metrics", c.Algo)
+		}
+		byName := map[string]CellMetric{}
+		for i, m := range c.Metrics {
+			if i > 0 && c.Metrics[i-1].Name >= m.Name {
+				t.Fatalf("cell %s: metrics not name-sorted: %q before %q", c.Algo, c.Metrics[i-1].Name, m.Name)
+			}
+			byName[m.Name] = m
+		}
+		// Engine counters: every run processes events and delivers.
+		if byName["sim_events"].Value == 0 || byName["sim_deliveries"].Value == 0 {
+			t.Fatalf("cell %s: engine counters empty: %+v", c.Algo, c.Metrics)
+		}
+		if byName["sim_queue_depth"].High == 0 {
+			t.Fatalf("cell %s: queue-depth high-water is zero", c.Algo)
+		}
+		// Algorithm counters stay with their algorithm: a wpaxos cell must
+		// not render floodpaxos slots and vice versa (worker registries are
+		// shared across cells; all-zero rows are dropped).
+		other := "flood_"
+		if c.Algo == "floodpaxos" {
+			other = "wpaxos_"
+		}
+		for name := range byName {
+			if strings.HasPrefix(name, other) {
+				t.Fatalf("cell %s: leaked slot %q from another algorithm", c.Algo, name)
+			}
+		}
+		if byName[map[string]string{"wpaxos": "wpaxos_proposals", "floodpaxos": "flood_proposals"}[c.Algo]].Value == 0 {
+			t.Fatalf("cell %s: no proposals counted: %+v", c.Algo, c.Metrics)
+		}
+	}
+	if parallel := sweep(4); !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("metric aggregation differs between 1 and 4 workers")
+	}
+}
+
+// TestSweepMetricsOffLeavesJSONUnchanged: the metrics field must not
+// appear in cell JSON when the sweep did not ask for metrics — the golden
+// grid output is pinned byte-for-byte elsewhere, this pins the mechanism.
+func TestSweepMetricsOffLeavesJSONUnchanged(t *testing.T) {
+	cells, err := Grid{
+		Algos:  []string{"wpaxos"},
+		Topos:  []Topo{{Kind: "clique", N: 4}},
+		Scheds: []string{"sync"},
+		Facks:  []int64{2},
+		Seeds:  []int64{1},
+	}.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := SweepCells(cells, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "\"metrics\"") {
+		t.Fatal("metric-free sweep JSON contains a metrics field")
+	}
+}

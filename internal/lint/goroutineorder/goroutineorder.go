@@ -29,8 +29,8 @@
 //
 // Scope: the deterministic parallel layers — internal/sim,
 // internal/graph, internal/harness, internal/explore, internal/baseline,
-// internal/ext. The wall-clock substrates order results by real arrival
-// on purpose and are exempt.
+// internal/ext, internal/metrics, internal/critpath. The wall-clock
+// substrates order results by real arrival on purpose and are exempt.
 package goroutineorder
 
 import (
@@ -51,6 +51,8 @@ var Analyzer = &analysis.Analyzer{
 		"github.com/absmac/absmac/internal/explore",
 		"github.com/absmac/absmac/internal/baseline",
 		"github.com/absmac/absmac/internal/ext",
+		"github.com/absmac/absmac/internal/metrics",
+		"github.com/absmac/absmac/internal/critpath",
 	),
 	Run: run,
 }

@@ -19,6 +19,8 @@ func TestScope(t *testing.T) {
 		"github.com/absmac/absmac/internal/harness":                                         true,
 		"github.com/absmac/absmac/internal/explore":                                         true,
 		"github.com/absmac/absmac/internal/sim":                                             true,
+		"github.com/absmac/absmac/internal/metrics":                                         true,
+		"github.com/absmac/absmac/internal/critpath":                                        true,
 		"github.com/absmac/absmac/internal/live":                                            false,
 		"github.com/absmac/absmac/internal/netmac":                                          false,
 		"github.com/absmac/absmac/cmd/amacexplore":                                          false,

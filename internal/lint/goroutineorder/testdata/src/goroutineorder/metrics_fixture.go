@@ -1,0 +1,56 @@
+// Metrics-aggregation cases: the sweep harness collects flight-recorder
+// registries from parallel workers, and the only pattern that keeps cell
+// output byte-identical across worker widths is the one pinned here —
+// each worker owns a pre-addressed registry slot, merged after the join.
+package goroutineorder
+
+import (
+	"sync"
+
+	"github.com/absmac/absmac/internal/metrics"
+)
+
+// perWorkerRegistries is the sanctioned aggregation pattern (the
+// SweepOptions.Metrics convention): registries publish index-addressed,
+// the submitter merges in worker order after the join.
+func perWorkerRegistries(nworkers int) *metrics.Registry {
+	regs := make([]*metrics.Registry, nworkers)
+	var wg sync.WaitGroup
+	for w := 0; w < nworkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			reg := metrics.New()
+			reg.Counter("events").Inc()
+			regs[w] = reg // index-addressed: sanctioned
+		}(w)
+	}
+	wg.Wait()
+	agg := metrics.New()
+	for _, r := range regs {
+		agg.Merge(r)
+	}
+	return agg
+}
+
+// sharedAggregation is the anti-pattern the sweep must never regress to:
+// workers folding totals into captured state, where merge order (and with
+// gauges, the surviving last-value) depends on interleaving.
+func sharedAggregation(nworkers int) (int64, map[string]int64) {
+	var events int64
+	counts := map[string]int64{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < nworkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			events++             // want `write to "events" captured`
+			counts["events"] = 1 // want `captured map "counts"`
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return events, counts
+}

@@ -18,7 +18,8 @@
 //     fact.
 //
 // Scope: internal/sim, internal/graph, internal/harness, internal/explore,
-// internal/baseline, internal/ext (and their subpackages). Wall-clock
+// internal/baseline, internal/ext, internal/metrics, internal/critpath
+// (and their subpackages). Wall-clock
 // substrates (internal/live, internal/netmac) and the cmd/ front-ends may
 // seed however they like. There is deliberately no comment escape hatch:
 // unlike iteration order, ambient randomness is never justified in the
@@ -43,6 +44,8 @@ var Analyzer = &analysis.Analyzer{
 		"github.com/absmac/absmac/internal/explore",
 		"github.com/absmac/absmac/internal/baseline",
 		"github.com/absmac/absmac/internal/ext",
+		"github.com/absmac/absmac/internal/metrics",
+		"github.com/absmac/absmac/internal/critpath",
 	),
 	Run: run,
 }

@@ -22,6 +22,8 @@ func TestScope(t *testing.T) {
 		"github.com/absmac/absmac/internal/explore":                               true,
 		"github.com/absmac/absmac/internal/baseline/gatherall":                    true,
 		"github.com/absmac/absmac/internal/ext/benor":                             true,
+		"github.com/absmac/absmac/internal/metrics":                               true,
+		"github.com/absmac/absmac/internal/critpath":                              true,
 		"github.com/absmac/absmac/internal/live":                                  false,
 		"github.com/absmac/absmac/internal/netmac":                                false,
 		"github.com/absmac/absmac/cmd/amacsim":                                    false,

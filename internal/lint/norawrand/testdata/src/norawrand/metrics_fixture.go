@@ -1,0 +1,32 @@
+// Metrics-layer cases: the observability packages (internal/metrics,
+// internal/critpath) are inside the deterministic core — synthetic load
+// for a histogram must come from a seed-derived generator, exactly like
+// scheduler jitter.
+package norawrand
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/absmac/absmac/internal/metrics"
+)
+
+// observeSeeded is the sanctioned pattern for generating synthetic metric
+// load (benchmarks, property tests): the generator derives from a seed.
+func observeSeeded(h metrics.Histogram, seed int64, n int) {
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		h.Observe(int64(r.Intn(1 << 20)))
+	}
+}
+
+func observeAmbient(h metrics.Histogram, n int) {
+	for i := 0; i < n; i++ {
+		h.Observe(int64(rand.Intn(1 << 20))) // want `global rand source`
+	}
+}
+
+func observeWallClockSeeded(h metrics.Histogram) {
+	r := rand.New(rand.NewSource(time.Now().UnixNano())) // want `wall-clock-seeded`
+	h.Observe(int64(r.Intn(8)))
+}

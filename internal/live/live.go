@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,7 @@ import (
 	"github.com/absmac/absmac/internal/consensus"
 	"github.com/absmac/absmac/internal/graph"
 	"github.com/absmac/absmac/internal/mailbox"
+	"github.com/absmac/absmac/internal/metrics"
 	"github.com/absmac/absmac/internal/sim"
 )
 
@@ -49,6 +51,15 @@ type Config struct {
 	IDs []amac.NodeID
 	// Timeout bounds the whole run; 0 means DefaultTimeout.
 	Timeout time.Duration
+	// MetricsInterval enables periodic flight-recorder exposition: every
+	// interval a wall-clock-stamped text snapshot of the run's counters is
+	// written to MetricsOut (both must be set). The wall-clock substrates
+	// are the only place timestamps appear — the metrics package itself is
+	// wall-clock free, which is what keeps the simulator deterministic.
+	MetricsInterval time.Duration
+	// MetricsOut receives the exposition lines. Writes happen from a
+	// dedicated goroutine that exits before Run returns.
+	MetricsOut io.Writer
 }
 
 // DefaultFack is the delivery bound when Config.Fack is zero.
@@ -213,6 +224,54 @@ func (rt *runtime) deliver(sender int, m amac.Message) {
 	}()
 }
 
+// ExposeMetrics runs a periodic flight-recorder exposition loop until ctx
+// is canceled: every interval it calls fill to refresh the registry's
+// slots from the substrate's counters, writes one wall-clock stamp line
+// (RFC 3339 plus elapsed time since started), and renders the registry as
+// sorted text. Shared by the live and netmac substrates — the one place
+// in the repository wall-clock timestamps are allowed to surface.
+func ExposeMetrics(ctx context.Context, w io.Writer, every time.Duration, started time.Time, fill func(*metrics.Registry)) {
+	reg := metrics.New()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			fill(reg)
+			fmt.Fprintf(w, "# %s elapsed=%s\n", now.Format(time.RFC3339Nano), now.Sub(started).Round(time.Millisecond))
+			if err := reg.WriteText(w); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// setCounter pins a counter slot to an externally tracked total (the
+// substrates count under their own result mutex; the exposition registry
+// just mirrors the totals at each tick).
+func setCounter(c metrics.Counter, total int64) { c.Add(total - c.Value()) }
+
+// expose is the live substrate's exposition goroutine body. Registration
+// dedups by name, so re-registering each tick is a map hit, not a slot.
+func (rt *runtime) expose(every time.Duration, w io.Writer) {
+	ExposeMetrics(rt.ctx, w, every, rt.started, func(reg *metrics.Registry) {
+		rt.resMu.Lock()
+		b, d := rt.res.Broadcasts, rt.res.Discards
+		var dec int64
+		for _, x := range rt.res.Decided {
+			if x {
+				dec++
+			}
+		}
+		rt.resMu.Unlock()
+		setCounter(reg.Counter("live_broadcasts"), b)
+		setCounter(reg.Counter("live_discards"), d)
+		reg.Gauge("live_decided").Set(dec)
+	})
+}
+
 // sleepUntil sleeps until start+d or the run's cancellation; it reports
 // whether the run is still live.
 func (rt *runtime) sleepUntil(start time.Time, d time.Duration) bool {
@@ -301,6 +360,16 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		if algs[i] == nil {
 			panic(fmt.Sprintf("live: factory returned nil algorithm for node %d", i))
 		}
+	}
+
+	if cfg.MetricsInterval > 0 && cfg.MetricsOut != nil {
+		// The exposition goroutine exits on cancel; senders.Wait below
+		// guarantees it is gone before Run returns the result.
+		rt.senders.Add(1)
+		go func() {
+			defer rt.senders.Done()
+			rt.expose(cfg.MetricsInterval, cfg.MetricsOut)
+		}()
 	}
 
 	// Node event loops: Start, then serve the mailbox until close.

@@ -1,7 +1,9 @@
 package live
 
 import (
+	"bytes"
 	"context"
+	"strings"
 	"testing"
 	"time"
 
@@ -176,5 +178,37 @@ func TestNowStrictlyIncreasing(t *testing.T) {
 			t.Fatalf("Now went from %d to %d", prev, next)
 		}
 		prev = next
+	}
+}
+
+// TestMetricsExposition: with MetricsInterval set, the run emits
+// wall-clock-stamped registry snapshots to MetricsOut, and the exposition
+// goroutine is gone before Run returns (this test reads the buffer
+// unsynchronized right after).
+func TestMetricsExposition(t *testing.T) {
+	var buf bytes.Buffer
+	inputs := mixed(6)
+	res, err := Run(context.Background(), Config{
+		Graph:           graph.Clique(6),
+		Inputs:          inputs,
+		Factory:         twophase.Factory,
+		Fack:            5 * time.Millisecond,
+		MetricsInterval: time.Millisecond,
+		MetricsOut:      &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report(inputs).OK() {
+		t.Fatalf("run not OK: %v", res.Report(inputs).Errors)
+	}
+	out := buf.String()
+	if out == "" {
+		t.Skip("run finished before the first exposition tick")
+	}
+	for _, want := range []string{"# 2", "elapsed=", "live_broadcasts ", "live_decided "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition output missing %q:\n%s", want, out)
+		}
 	}
 }

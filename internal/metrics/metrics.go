@@ -1,0 +1,465 @@
+// Package metrics is the repository's allocation-free, deterministic
+// metrics layer: fixed-slot counters, gauges with high-water tracking and
+// power-of-two-bucket histograms, registered once per engine Reset and
+// read back in sorted registration order.
+//
+// Design rules, all load-bearing for the determinism contract:
+//
+//   - Handles are values. Counter/Gauge/Histogram are two-word structs
+//     {registry, slot}; every mutator no-ops when the registry pointer is
+//     nil, so code paths instrument unconditionally and a disabled
+//     registry costs one predictable branch — no allocation, no interface
+//     dispatch, no build tags. The zero handle is the disabled handle.
+//   - Registration deduplicates by name: registering an existing name
+//     with the same kind returns a handle to the existing slot (this is
+//     how n nodes share one "proposals" counter), and a kind mismatch
+//     panics loudly. Per-run cost is therefore O(registered slots), never
+//     O(events): after the first Reset of a reused engine every
+//     registration is a map hit and Reset zeroes a flat slice.
+//   - Export never ranges a map. The registry maintains a name-sorted
+//     index slice incrementally at registration time; Snapshot and
+//     WriteText iterate that slice, so detlint's maporder rule holds by
+//     construction and identical runs export byte-identical text.
+//   - The package is wall-clock-free and seedless. Timestamped exposition
+//     (the live/netmac substrates) prefixes its own stamp line before
+//     calling WriteText; nothing here calls time.Now.
+//
+// A Registry is not goroutine-safe: one registry per engine (or per sweep
+// worker), merged with Merge where aggregation is wanted.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+)
+
+type kind uint8
+
+const (
+	kindCounter kind = iota + 1
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// NumBuckets is the fixed bucket count of every histogram: bucket 0 holds
+// observations <= 0 and bucket i (1..63) holds values v with
+// bits.Len64(v) == i, i.e. the power-of-two range [2^(i-1), 2^i).
+const NumBuckets = 64
+
+type slot struct {
+	name string
+	k    kind
+	val  int64 // counter total, or gauge current value
+	high int64 // gauge high-water mark
+	hist *histData
+}
+
+type histData struct {
+	count   int64
+	sum     int64
+	buckets [NumBuckets]int64
+}
+
+// Registry owns a fixed set of named metric slots. The zero value of
+// *Registry (nil) is the disabled registry: every registration returns a
+// disabled handle and every export is empty. Create enabled registries
+// with New.
+type Registry struct {
+	slots []slot
+	index map[string]int
+	// order holds slot indices sorted by name, maintained by insertion at
+	// registration time so no export path ever ranges the index map.
+	order []int
+}
+
+// New returns an empty enabled registry.
+func New() *Registry {
+	return &Registry{index: make(map[string]int)}
+}
+
+// register interns a slot for name, creating it on first sight and
+// panicking on a kind mismatch with an earlier registration.
+func (r *Registry) register(name string, k kind) int {
+	if i, ok := r.index[name]; ok {
+		if r.slots[i].k != k {
+			panic(fmt.Sprintf("metrics: %q registered as %s, requested as %s", name, r.slots[i].k, k))
+		}
+		return i
+	}
+	i := len(r.slots)
+	s := slot{name: name, k: k}
+	if k == kindHistogram {
+		s.hist = &histData{}
+	}
+	r.slots = append(r.slots, s)
+	r.index[name] = i
+	// Insert i into the name-sorted order slice (registration is rare and
+	// the slice is small; linear insertion keeps this dependency-free).
+	pos := len(r.order)
+	for j, oi := range r.order {
+		if r.slots[oi].name > name {
+			pos = j
+			break
+		}
+	}
+	r.order = append(r.order, 0)
+	copy(r.order[pos+1:], r.order[pos:])
+	r.order[pos] = i
+	return i
+}
+
+// Counter registers (or re-opens) a monotonically increasing counter.
+// On a nil registry it returns the disabled handle.
+func (r *Registry) Counter(name string) Counter {
+	if r == nil {
+		return Counter{}
+	}
+	return Counter{r: r, i: r.register(name, kindCounter)}
+}
+
+// Gauge registers (or re-opens) a gauge with high-water tracking.
+// On a nil registry it returns the disabled handle.
+func (r *Registry) Gauge(name string) Gauge {
+	if r == nil {
+		return Gauge{}
+	}
+	return Gauge{r: r, i: r.register(name, kindGauge)}
+}
+
+// Histogram registers (or re-opens) a power-of-two-bucket histogram.
+// On a nil registry it returns the disabled handle.
+func (r *Registry) Histogram(name string) Histogram {
+	if r == nil {
+		return Histogram{}
+	}
+	return Histogram{r: r, i: r.register(name, kindHistogram)}
+}
+
+// Reset zeroes every slot's value while keeping all registrations, so a
+// reused engine pays O(registered slots) per run. Nil-safe.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	for i := range r.slots {
+		s := &r.slots[i]
+		s.val, s.high = 0, 0
+		if s.hist != nil {
+			*s.hist = histData{}
+		}
+	}
+}
+
+// Len reports the number of registered slots. Nil-safe.
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Counter is a monotonically increasing counter handle. The zero value is
+// disabled: every method no-ops (or returns zero).
+type Counter struct {
+	r *Registry
+	i int
+}
+
+// Inc adds one.
+func (c Counter) Inc() {
+	if c.r != nil {
+		c.r.slots[c.i].val++
+	}
+}
+
+// Add adds d (d must be >= 0; counters only go up).
+func (c Counter) Add(d int64) {
+	if c.r != nil {
+		c.r.slots[c.i].val += d
+	}
+}
+
+// Value returns the current total.
+func (c Counter) Value() int64 {
+	if c.r == nil {
+		return 0
+	}
+	return c.r.slots[c.i].val
+}
+
+// Gauge is a last-value gauge handle that also tracks the highest value
+// ever set since the last Reset. The zero value is disabled.
+type Gauge struct {
+	r *Registry
+	i int
+}
+
+// Set records v and raises the high-water mark when v exceeds it.
+func (g Gauge) Set(v int64) {
+	if g.r == nil {
+		return
+	}
+	s := &g.r.slots[g.i]
+	s.val = v
+	if v > s.high {
+		s.high = v
+	}
+}
+
+// Value returns the last set value.
+func (g Gauge) Value() int64 {
+	if g.r == nil {
+		return 0
+	}
+	return g.r.slots[g.i].val
+}
+
+// High returns the high-water mark.
+func (g Gauge) High() int64 {
+	if g.r == nil {
+		return 0
+	}
+	return g.r.slots[g.i].high
+}
+
+// Histogram is a power-of-two-bucket histogram handle. The zero value is
+// disabled.
+type Histogram struct {
+	r *Registry
+	i int
+}
+
+// bucketOf maps an observation to its bucket: <= 0 lands in bucket 0,
+// positive v in bucket bits.Len64(v) (so bucket i covers [2^(i-1), 2^i)).
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i — the value a
+// quantile read out of that bucket reports.
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// Observe records one sample.
+func (h Histogram) Observe(v int64) {
+	if h.r == nil {
+		return
+	}
+	d := h.r.slots[h.i].hist
+	d.buckets[bucketOf(v)]++
+	d.count++
+	d.sum += v
+}
+
+// Count returns the number of recorded samples.
+func (h Histogram) Count() int64 {
+	if h.r == nil {
+		return 0
+	}
+	return h.r.slots[h.i].hist.count
+}
+
+// Sum returns the sum of recorded samples.
+func (h Histogram) Sum() int64 {
+	if h.r == nil {
+		return 0
+	}
+	return h.r.slots[h.i].hist.sum
+}
+
+// Quantile returns the nearest-rank p-th percentile resolved to its
+// bucket's upper bound (the same rank convention as stats.Percentile,
+// coarsened to power-of-two resolution). p is clamped to [0, 100]; an
+// empty histogram reports 0.
+func (h Histogram) Quantile(p float64) int64 {
+	if h.r == nil {
+		return 0
+	}
+	d := h.r.slots[h.i].hist
+	if d.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := int64(math.Ceil(p / 100 * float64(d.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < NumBuckets; i++ {
+		seen += d.buckets[i]
+		if seen >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(NumBuckets - 1)
+}
+
+// Buckets returns a copy of the bucket counts.
+func (h Histogram) Buckets() []int64 {
+	if h.r == nil {
+		return nil
+	}
+	d := h.r.slots[h.i].hist
+	out := make([]int64, NumBuckets)
+	copy(out, d.buckets[:])
+	return out
+}
+
+// Sample is one exported slot. Exactly the fields meaningful for the kind
+// are set: Value for counters; Value and High for gauges; Count, Sum and
+// Buckets for histograms.
+type Sample struct {
+	Name    string
+	Kind    string
+	Value   int64
+	High    int64
+	Count   int64
+	Sum     int64
+	Buckets []int64
+}
+
+// Quantile computes the nearest-rank p-quantile from a histogram sample's
+// bucket counts — the same convention as Histogram.Quantile, for consumers
+// holding a Sample rather than a live handle (the harness's per-cell
+// aggregation rows). Returns 0 for non-histogram or empty samples.
+func (s Sample) Quantile(p float64) int64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := int64(math.Ceil(p / 100 * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range s.Buckets {
+		seen += c
+		if seen >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(len(s.Buckets) - 1)
+}
+
+// Snapshot returns every slot as a Sample, sorted by name. The sort order
+// comes from the incrementally maintained order slice — no map iteration.
+// Nil-safe (returns nil).
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	out := make([]Sample, 0, len(r.order))
+	for _, i := range r.order {
+		s := &r.slots[i]
+		smp := Sample{Name: s.name, Kind: s.k.String()}
+		switch s.k {
+		case kindCounter:
+			smp.Value = s.val
+		case kindGauge:
+			smp.Value, smp.High = s.val, s.high
+		case kindHistogram:
+			smp.Count, smp.Sum = s.hist.count, s.hist.sum
+			smp.Buckets = make([]int64, NumBuckets)
+			copy(smp.Buckets, s.hist.buckets[:])
+		}
+		out = append(out, smp)
+	}
+	return out
+}
+
+// WriteText renders every slot as one line, sorted by name:
+//
+//	name value                                  (counter)
+//	name value high=H                           (gauge)
+//	name count=N sum=S p50=A p99=B              (histogram)
+//
+// Identical registries render byte-identically. Nil-safe (writes nothing).
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, i := range r.order {
+		s := &r.slots[i]
+		var err error
+		switch s.k {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", s.name, s.val)
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %d high=%d\n", s.name, s.val, s.high)
+		case kindHistogram:
+			h := Histogram{r: r, i: i}
+			_, err = fmt.Fprintf(w, "%s count=%d sum=%d p50=%d p99=%d\n",
+				s.name, s.hist.count, s.hist.sum, h.Quantile(50), h.Quantile(99))
+		}
+		if err != nil {
+			return fmt.Errorf("metrics: write: %w", err)
+		}
+	}
+	return nil
+}
+
+// Merge folds src into r: counters add, gauges keep src's last value and
+// the maximum of the two high-water marks, histograms add bucket-wise.
+// Slots missing from r are registered. Merging histograms built from two
+// sample sets yields exactly the histogram of the concatenated samples
+// (pinned by TestHistogramMergeEqualsConcat). Nil-safe in both directions.
+func (r *Registry) Merge(src *Registry) {
+	if r == nil || src == nil {
+		return
+	}
+	for si := range src.slots {
+		ss := &src.slots[si]
+		di := r.register(ss.name, ss.k)
+		ds := &r.slots[di]
+		switch ss.k {
+		case kindCounter:
+			ds.val += ss.val
+		case kindGauge:
+			ds.val = ss.val
+			if ss.high > ds.high {
+				ds.high = ss.high
+			}
+		case kindHistogram:
+			ds.hist.count += ss.hist.count
+			ds.hist.sum += ss.hist.sum
+			for b := range ss.hist.buckets {
+				ds.hist.buckets[b] += ss.hist.buckets[b]
+			}
+		}
+	}
+}

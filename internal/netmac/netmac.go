@@ -19,6 +19,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,7 @@ import (
 	"github.com/absmac/absmac/internal/graph"
 	"github.com/absmac/absmac/internal/live"
 	"github.com/absmac/absmac/internal/mailbox"
+	"github.com/absmac/absmac/internal/metrics"
 )
 
 // envelope wraps the algorithm message for gob: concrete message types
@@ -64,6 +66,11 @@ type Config struct {
 	RTO time.Duration
 	// Timeout bounds the whole run; 0 means DefaultTimeout.
 	Timeout time.Duration
+	// MetricsInterval and MetricsOut enable periodic flight-recorder
+	// exposition exactly as in the live substrate (live.ExposeMetrics),
+	// extended with the wire-level counters.
+	MetricsInterval time.Duration
+	MetricsOut      io.Writer
 }
 
 // DefaultRTO is the retransmission interval when Config.RTO is zero.
@@ -252,6 +259,28 @@ func (rt *runtime) send(nd *node, to *net.UDPAddr, pkt packet, retransmit bool) 
 	rt.resMu.Unlock()
 }
 
+// expose is the UDP substrate's exposition goroutine body: the live
+// substrate's loop (live.ExposeMetrics) over the wire-level counters.
+func (rt *runtime) expose(every time.Duration, w io.Writer) {
+	setCounter := func(c metrics.Counter, total int64) { c.Add(total - c.Value()) }
+	live.ExposeMetrics(rt.ctx, w, every, rt.started, func(reg *metrics.Registry) {
+		rt.resMu.Lock()
+		b, pkts, bytes, rtx := rt.res.Broadcasts, rt.res.PacketsSent, rt.res.BytesSent, rt.res.Retransmits
+		var dec int64
+		for _, x := range rt.res.Decided {
+			if x {
+				dec++
+			}
+		}
+		rt.resMu.Unlock()
+		setCounter(reg.Counter("net_broadcasts"), b)
+		setCounter(reg.Counter("net_packets_sent"), pkts)
+		setCounter(reg.Counter("net_bytes_sent"), bytes)
+		setCounter(reg.Counter("net_retransmits"), rtx)
+		reg.Gauge("net_decided").Set(dec)
+	})
+}
+
 // reader is the per-node socket loop: decode packets, deliver fresh data
 // (acking every data packet, fresh or not), and clear reliability state on
 // acks.
@@ -383,6 +412,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	for i := 0; i < n; i++ {
 		rt.wg.Add(1)
 		go rt.reader(rt.nodes[i])
+	}
+	if cfg.MetricsInterval > 0 && cfg.MetricsOut != nil {
+		rt.wg.Add(1)
+		go func() {
+			defer rt.wg.Done()
+			rt.expose(cfg.MetricsInterval, cfg.MetricsOut)
+		}()
 	}
 	var loops sync.WaitGroup
 	for i := 0; i < n; i++ {

@@ -1,7 +1,9 @@
 package netmac
 
 import (
+	"bytes"
 	"context"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -155,5 +157,36 @@ func TestValidationPanics(t *testing.T) {
 			}()
 			Run(context.Background(), tc.cfg)
 		})
+	}
+}
+
+// TestMetricsExposition mirrors the live substrate's exposition test over
+// the UDP runtime: stamped snapshots with the wire-level counters.
+func TestMetricsExposition(t *testing.T) {
+	register()
+	var buf bytes.Buffer
+	inputs := mixed(5)
+	res, err := Run(context.Background(), Config{
+		Graph:           graph.Clique(5),
+		Inputs:          inputs,
+		Factory:         twophase.Factory,
+		RTO:             2 * time.Millisecond,
+		MetricsInterval: time.Millisecond,
+		MetricsOut:      &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report(inputs).OK() {
+		t.Fatalf("run not OK: %v", res.Report(inputs).Errors)
+	}
+	out := buf.String()
+	if out == "" {
+		t.Skip("run finished before the first exposition tick")
+	}
+	for _, want := range []string{"elapsed=", "net_broadcasts ", "net_packets_sent ", "net_decided "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition output missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"github.com/absmac/absmac/internal/amac"
 	"github.com/absmac/absmac/internal/graph"
+	"github.com/absmac/absmac/internal/metrics"
 )
 
 // BenchmarkBroadcastPlan measures the engine's broadcast/delivery hot path:
@@ -14,7 +15,7 @@ import (
 // buffer and event freelist are supposed to keep the steady state free of
 // per-broadcast allocations.
 func BenchmarkBroadcastPlan(b *testing.B) {
-	benchBroadcast(b, graph.Clique(16), nil)
+	benchBroadcast(b, graph.Clique(16), nil, nil)
 }
 
 // BenchmarkBroadcastPlanUnreliable is the same workload under a dual-graph
@@ -22,7 +23,23 @@ func BenchmarkBroadcastPlan(b *testing.B) {
 // the unreliable branch of the planning path is costed too.
 func BenchmarkBroadcastPlanUnreliable(b *testing.B) {
 	g := graph.Ring(16)
-	benchBroadcast(b, g, graph.RandomOverlay(g, 24, 7))
+	benchBroadcast(b, g, graph.RandomOverlay(g, 24, 7), nil)
+}
+
+// BenchmarkBroadcastPlanMetrics and BenchmarkBroadcastPlanUnreliableMetrics
+// are the flight-recorder-on variants of the two pinned broadcast benches:
+// the same workloads with a live metrics.Registry installed, so the cost
+// of the instrumented hot path is measured next to the pinned
+// metrics-off numbers. The overhead contract (see internal/metrics) is a
+// fixed number of registrations per Reset — O(registered slots), never
+// O(events) — so allocs/op must exceed the pins only by a constant.
+func BenchmarkBroadcastPlanMetrics(b *testing.B) {
+	benchBroadcast(b, graph.Clique(16), nil, metrics.New())
+}
+
+func BenchmarkBroadcastPlanUnreliableMetrics(b *testing.B) {
+	g := graph.Ring(16)
+	benchBroadcast(b, g, graph.RandomOverlay(g, 24, 7), metrics.New())
 }
 
 // BenchmarkBroadcastPlanLarge is the large-n tier of the broadcast bench:
@@ -80,7 +97,7 @@ func BenchmarkBroadcastPlanLarge(b *testing.B) {
 	}
 }
 
-func benchBroadcast(b *testing.B, g, u *graph.Graph) {
+func benchBroadcast(b *testing.B, g, u *graph.Graph, reg *metrics.Registry) {
 	ins := make([]amac.Value, g.N())
 	factory := func(amac.NodeConfig) amac.Algorithm { return &chatterAlg{} }
 	b.ReportAllocs()
@@ -97,6 +114,7 @@ func benchBroadcast(b *testing.B, g, u *graph.Graph) {
 			Factory:    factory,
 			Scheduler:  sched,
 			MaxEvents:  50_000,
+			Metrics:    reg,
 		})
 		if !res.Cutoff {
 			b.Fatalf("chatter workload terminated after %d events", res.Events)

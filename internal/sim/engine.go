@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/absmac/absmac/internal/amac"
+	"github.com/absmac/absmac/internal/metrics"
 )
 
 // Engine executes configurations on a reusable arena: Reset re-arms the
@@ -49,6 +50,17 @@ type Engine struct {
 	// path allocation-free in the steady state.
 	plan Plan
 	free []*event
+
+	// Hot-path metric handles, re-registered at every Reset. With
+	// Config.Metrics nil these are zero handles and every mutation is one
+	// predictable nil-check branch — the zero-cost-when-off contract.
+	mEvents    metrics.Counter // processed queue events
+	mDeliver   metrics.Counter // deliveries handed to OnReceive
+	mDrops     metrics.Counter // deliveries/acks lost to crash cutoffs
+	mDiscards  metrics.Counter // broadcasts attempted while one in flight
+	mFreeHits  metrics.Counter // event allocations served by the freelist
+	mFreeMiss  metrics.Counter // event allocations that hit the allocator
+	mQueueHigh metrics.Gauge   // event-queue depth (high-water tracked)
 }
 
 // api implements amac.API for one node. Engine.Reset pre-boxes one per
@@ -157,12 +169,26 @@ func (e *Engine) Reset(cfg Config) {
 		MaxDecideTime: -1,
 	}
 
+	// Metrics: zero the registry's values for the new run and (re-)register
+	// the engine's slots. Registration dedups by name, so after the first
+	// Reset of a reused engine this is a handful of map hits; with a nil
+	// registry every call returns a disabled zero handle.
+	m := cfg.Metrics
+	m.Reset()
+	e.mEvents = m.Counter("sim_events")
+	e.mDeliver = m.Counter("sim_deliveries")
+	e.mDrops = m.Counter("sim_crash_drops")
+	e.mDiscards = m.Counter("sim_discards")
+	e.mFreeHits = m.Counter("sim_freelist_hits")
+	e.mFreeMiss = m.Counter("sim_freelist_misses")
+	e.mQueueHigh = m.Gauge("sim_queue_depth")
+
 	for i := 0; i < n; i++ {
 		id := amac.NodeID(i + 1)
 		if cfg.IDs != nil {
 			id = cfg.IDs[i]
 		}
-		alg := cfg.Factory(amac.NodeConfig{ID: id, Input: cfg.Inputs[i]})
+		alg := cfg.Factory(amac.NodeConfig{ID: id, Input: cfg.Inputs[i], Metrics: cfg.Metrics})
 		if alg == nil {
 			panic(fmt.Sprintf("sim: factory returned nil algorithm for node %d", i))
 		}
@@ -200,8 +226,10 @@ func (e *Engine) alloc() *event {
 	if n := len(e.free); n > 0 {
 		ev := e.free[n-1]
 		e.free = e.free[:n-1]
+		e.mFreeHits.Inc()
 		return ev
 	}
+	e.mFreeMiss.Inc()
 	return &event{}
 }
 
@@ -216,6 +244,7 @@ func (e *Engine) push(ev event) {
 	p.seq = e.nexts
 	e.nexts++
 	e.q.push(p)
+	e.mQueueHigh.Set(int64(e.q.len()))
 }
 
 func (e *Engine) broadcast(u int, m amac.Message) bool {
@@ -224,6 +253,7 @@ func (e *Engine) broadcast(u int, m amac.Message) bool {
 	}
 	if e.inflight[u] {
 		e.res.Discards++
+		e.mDiscards.Inc()
 		e.observe(Event{Kind: EventDiscard, Time: e.now, Node: u, Message: m})
 		return false
 	}
@@ -360,6 +390,7 @@ func (e *Engine) Run() *Result {
 		}
 		e.now = ev.time
 		e.res.Events++
+		e.mEvents.Inc()
 		e.res.Time = e.now
 
 		switch ev.kind {
@@ -370,20 +401,24 @@ func (e *Engine) Run() *Result {
 			// receive the message).
 			if e.crashedBy(ev.node, ev.time) {
 				e.markCrashed(ev.node)
+				e.mDrops.Inc()
 				e.release(ev)
 				continue
 			}
 			if e.crashedBy(ev.peer, ev.time) {
 				e.markCrashed(ev.peer)
+				e.mDrops.Inc()
 				e.release(ev)
 				continue
 			}
 			e.res.Deliveries++
+			e.mDeliver.Inc()
 			e.observe(Event{Kind: EventDeliver, Time: e.now, Node: ev.node, Peer: ev.peer, Message: ev.msg})
 			e.algs[ev.node].OnReceive(ev.msg)
 		case EventAck:
 			if e.crashedBy(ev.node, ev.time) {
 				e.markCrashed(ev.node)
+				e.mDrops.Inc()
 				e.release(ev)
 				continue
 			}

@@ -30,6 +30,7 @@ import (
 
 	"github.com/absmac/absmac/internal/amac"
 	"github.com/absmac/absmac/internal/graph"
+	"github.com/absmac/absmac/internal/metrics"
 )
 
 // Broadcast describes one broadcast for which a Scheduler must produce a
@@ -136,6 +137,15 @@ type Config struct {
 	// observer that retains events must extract what it needs rather than
 	// hold the Message reference (trace.Recorder formats only the type).
 	Observer func(Event)
+	// Metrics, when non-nil, receives the engine's hot-path counters
+	// (events processed, deliveries, crash drops, freelist hit rate,
+	// queue-depth high-water) and is handed to every node's factory via
+	// amac.NodeConfig so algorithms register their own slots against the
+	// same registry. Reset zeroes the registry's values (registrations
+	// persist, so a reused engine pays O(registered slots) per run).
+	// When nil, every handle is disabled and the run path is unchanged —
+	// the zero-cost-when-off contract pinned by BenchmarkBroadcastPlan.
+	Metrics *metrics.Registry
 }
 
 // DefaultMaxEvents bounds event processing when Config.MaxEvents is zero.

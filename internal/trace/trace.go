@@ -18,12 +18,13 @@ import (
 // Recorder captures simulator events. The zero value is unusable; create
 // recorders with New.
 type Recorder struct {
-	cap    int
-	events []sim.Event
-	start  int // ring start when full
-	total  int
-	counts map[sim.EventKind]int
-	keep   map[sim.EventKind]bool
+	cap     int
+	events  []sim.Event
+	start   int // ring start when full
+	total   int
+	dropped int // retained-kind events overwritten by the full ring
+	counts  map[sim.EventKind]int
+	keep    map[sim.EventKind]bool
 }
 
 // New returns a recorder retaining at most capacity events (older events
@@ -73,10 +74,18 @@ func (r *Recorder) record(ev sim.Event) {
 	}
 	r.events[r.start] = ev
 	r.start = (r.start + 1) % r.cap
+	r.dropped++
 }
 
 // Total returns the number of events observed (including filtered ones).
 func (r *Recorder) Total() int { return r.total }
+
+// Dropped returns how many retained-kind events fell off the full ring —
+// the gap between what the run emitted and what Events still holds.
+// Always zero for Unbounded recorders. A non-zero count means the trace
+// is a window, not the whole run; Summary and DumpJSONL both surface it
+// so a truncated trace can never pass as complete.
+func (r *Recorder) Dropped() int { return r.dropped }
 
 // Count returns how many events of the given kind were observed.
 func (r *Recorder) Count(k sim.EventKind) int { return r.counts[k] }
@@ -128,6 +137,9 @@ func (r *Recorder) Summary() string {
 			fmt.Fprintf(&b, "%s=%d ", k, c)
 		}
 	}
+	if r.dropped > 0 {
+		fmt.Fprintf(&b, "dropped=%d ", r.dropped)
+	}
 	return strings.TrimSpace(b.String())
 }
 
@@ -165,10 +177,25 @@ func ToJSONL(ev sim.Event) JSONLEvent {
 	return je
 }
 
+// JSONLHeader is the optional first line of a DumpJSONL stream: emitted
+// only when the ring dropped events, it tells a consumer the trace is a
+// window. Complete traces carry no header, so their output is unchanged
+// from before drop accounting existed.
+type JSONLHeader struct {
+	Dropped  int `json:"dropped"`
+	Retained int `json:"retained"`
+}
+
 // DumpJSONL writes the retained events to w as JSON Lines, one JSONLEvent
-// object per line — the machine-readable counterpart of Dump.
+// object per line — the machine-readable counterpart of Dump. When the
+// ring dropped events, one JSONLHeader line precedes them.
 func (r *Recorder) DumpJSONL(w io.Writer) error {
 	enc := json.NewEncoder(w)
+	if r.dropped > 0 {
+		if err := enc.Encode(JSONLHeader{Dropped: r.dropped, Retained: len(r.events)}); err != nil {
+			return fmt.Errorf("trace: dump jsonl: %w", err)
+		}
+	}
 	for _, ev := range r.Events() {
 		if err := enc.Encode(ToJSONL(ev)); err != nil {
 			return fmt.Errorf("trace: dump jsonl: %w", err)

@@ -157,6 +157,57 @@ func TestSummaryCoversAllKinds(t *testing.T) {
 	}
 }
 
+// TestDroppedAccounting: a ring that overflows reports exactly how many
+// events it lost, in Dropped, in the Summary line, and as a JSONL header —
+// while a recorder that retained everything reports nothing extra (so
+// complete traces stay byte-identical to the pre-accounting format).
+func TestDroppedAccounting(t *testing.T) {
+	r := New(5)
+	runWith(r)
+	want := r.Total() - 5
+	if want <= 0 {
+		t.Fatalf("run emitted only %d events; ring never overflowed", r.Total())
+	}
+	if got := r.Dropped(); got != want {
+		t.Fatalf("Dropped() = %d, want %d", got, want)
+	}
+	if s := r.Summary(); !strings.Contains(s, "dropped=") {
+		t.Fatalf("summary %q missing dropped count", s)
+	}
+	var b strings.Builder
+	if err := r.DumpJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("dumped %d lines, want header + 5 events", len(lines))
+	}
+	var hdr JSONLHeader
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatalf("header line %q: %v", lines[0], err)
+	}
+	if hdr.Dropped != want || hdr.Retained != 5 {
+		t.Fatalf("header = %+v, want dropped=%d retained=5", hdr, want)
+	}
+
+	// A complete trace: no dropped marker anywhere.
+	full := New(Unbounded)
+	runWith(full)
+	if full.Dropped() != 0 {
+		t.Fatalf("unbounded recorder dropped %d", full.Dropped())
+	}
+	if s := full.Summary(); strings.Contains(s, "dropped=") {
+		t.Fatalf("complete summary %q mentions dropped", s)
+	}
+	var fb strings.Builder
+	if err := full.DumpJSONL(&fb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(fb.String(), `"retained"`) {
+		t.Fatal("complete JSONL dump carries a header line")
+	}
+}
+
 func TestNewPanicsOnNegativeCapacity(t *testing.T) {
 	defer func() {
 		if recover() == nil {
