@@ -76,6 +76,13 @@
 //     Default none.
 //   - -seeds: a replication count; seeds 1..k run for every cell.
 //
+// Sweep mode also accepts -cpuprofile FILE and -memprofile FILE, which
+// write pprof CPU and heap profiles covering the whole sweep (worker pool
+// included) — the starting point for any wall-clock investigation:
+//
+//	amacsim -sweep -topos expander:4096:8 -scheds random -seeds 4 \
+//	        -cpuprofile cpu.out && go tool pprof cpu.out
+//
 // With -json the sweep emits a JSON array of cell objects:
 //
 //	[{"algo": "wpaxos", "topo": "grid:3x3", "inputs": "alternating",
@@ -143,6 +150,7 @@ func main() {
 	sweep := flag.Bool("sweep", false, "run a scenario sweep instead of a single execution")
 	axes := harness.RegisterAxisFlags(flag.CommandLine, "sweep")
 	jsonOut := flag.Bool("json", false, "sweep: emit JSON instead of a text table")
+	prof := harness.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
 
 	// Flags have no effect outside their mode; fail loudly rather than
@@ -150,7 +158,7 @@ func main() {
 	// (-metrics is deliberately in neither set: it means something in both
 	// modes.)
 	singleOnly := harness.NameSet([]string{"algo", "topo", "sched", "fack", "seed", "crash", "overlay", "v", "trace", "record"})
-	sweepOnly := harness.NameSet(axes.Names(), []string{"json"})
+	sweepOnly := harness.NameSet(axes.Names(), []string{"json"}, prof.Names())
 	stray := harness.StrayFlags(flag.CommandLine, func(name string) bool {
 		if *sweep {
 			return singleOnly[name]
@@ -168,7 +176,13 @@ func main() {
 		if err != nil {
 			os.Exit(fail(err))
 		}
-		os.Exit(runSweep(grid, *axes.Workers, *jsonOut, *metricsOn))
+		stopProf, err := prof.Start()
+		if err != nil {
+			os.Exit(fail(err))
+		}
+		code := runSweep(grid, *axes.Workers, *jsonOut, *metricsOn)
+		stopProf()
+		os.Exit(code)
 	}
 	os.Exit(runSingle(*algo, *topo, *sched, *inputs, *crash, *overlay, *traceFile, *recordFile, *fack, *seed, *verbose, *metricsOn))
 }

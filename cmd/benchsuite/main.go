@@ -16,6 +16,13 @@
 //	benchsuite [-only E6] [-q]            experiments
 //	benchsuite -grid [-json] [-workers N] full scenario grid
 //
+// Both modes accept -cpuprofile FILE and -memprofile FILE, writing pprof
+// CPU and heap profiles over the whole run — experiments or grid, worker
+// pool included — so a wall-clock investigation starts from a profile
+// instead of a guess:
+//
+//	benchsuite -grid -cpuprofile cpu.out && go tool pprof cpu.out
+//
 // Exit status is non-zero when any experiment fails its shape check or any
 // grid cell violates a consensus property.
 package main
@@ -36,6 +43,7 @@ func main() {
 	grid := flag.Bool("grid", false, "run the canonical scenario grid instead of the experiments")
 	jsonOut := flag.Bool("json", false, "grid: emit JSON instead of a text table")
 	workers := flag.Int("workers", 0, "grid: worker pool width (0 = GOMAXPROCS)")
+	prof := harness.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
 
 	// Flags have no effect outside their mode; fail loudly rather than
@@ -57,10 +65,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *grid {
-		os.Exit(runGrid(*workers, *jsonOut))
+	// Profiling applies in both modes (-cpuprofile/-memprofile are
+	// deliberately in neither stray set).
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(2)
 	}
-	os.Exit(runExperiments(*only, *quiet))
+	var code int
+	if *grid {
+		code = runGrid(*workers, *jsonOut)
+	} else {
+		code = runExperiments(*only, *quiet)
+	}
+	stopProf()
+	os.Exit(code)
 }
 
 func runExperiments(only string, quiet bool) int {

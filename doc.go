@@ -188,6 +188,39 @@
 //     fixed as n grows, which is the regime where the abstract MAC
 //     layer's per-broadcast costs stay flat.
 //
+// # Event queue and the Fack horizon
+//
+// The engine's pending-event queue exploits the model's own contract.
+// validatePlan admits only plans whose deliveries and ack land in
+// (Now, Now+Fack], so at any instant every queued event lives within one
+// Fack window of the clock — bounded-horizon scheduling, the regime where
+// a calendar (timing-wheel) structure beats a heap. internal/sim/queue.go
+// keeps a power-of-two ring of per-time buckets spanning the horizon:
+// push appends to a bucket FIFO, pop advances the clock cursor to the
+// next nonempty bucket (one bitmap word scan per 64 buckets) and takes
+// its head. Both are O(1); a 36k-event backlog on expander:4096:8 costs
+// the same per operation as an empty queue.
+//
+// The pop order is byte-identical to the quaternary heap it replaced,
+// not approximately so. The engine's total order is (time, deliveries
+// before acks, insertion seq); seq is assigned monotonically and a FIFO
+// preserves insertion order, so one FIFO chain per (bucket, kind)
+// reproduces the order exactly: the cursor visits times in order, and
+// within a time the deliver chain drains before the ack chain, each in
+// seq order. Two escape hatches keep the structure exact: events past
+// the ring window (wrapping schedulers — Gate, SlowSubset — declare
+// horizons wider than their base) overflow into the old quaternary heap
+// and migrate into the ring as the cursor advances, strictly before any
+// new push can reach the exposed buckets; and events live in a dense
+// value slab indexed by int32 with an intrusive free chain, so the GC
+// never scans the queue and slab growth amortizes to one allocation per
+// doubling. Config.QueueWindow tunes the hybrid (0 sizes the ring to the
+// scheduler's Fack, negative forces the pure reference heap), and the
+// harness differential queue test drives both — plus a deliberately tiny
+// ring that migrates constantly — through every registered scheduler,
+// crash pattern and overlay family, asserting identical event sequences,
+// results and fingerprints.
+//
 // # Observability
 //
 // internal/metrics is a flight-recorder registry built for the engine's

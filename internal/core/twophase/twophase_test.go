@@ -110,7 +110,7 @@ func TestExhaustiveSmallCliques(t *testing.T) {
 	scheds := map[string]func() sim.Scheduler{
 		"sync":      func() sim.Scheduler { return sim.Synchronous{} },
 		"maxdelay":  func() sim.Scheduler { return sim.MaxDelay{F: 5} },
-		"edgeorder": func() sim.Scheduler { return sim.EdgeOrder{MaxDegree: 5} },
+		"edgeorder": func() sim.Scheduler { return &sim.EdgeOrder{MaxDegree: 5} },
 		"random":    func() sim.Scheduler { return sim.NewRandom(7, 99) },
 	}
 	for n := 2; n <= 5; n++ {
@@ -167,7 +167,7 @@ func TestCrashLosesTerminationNotSafety(t *testing.T) {
 			Graph:     graph.Clique(n),
 			Inputs:    inputs,
 			Factory:   Factory,
-			Scheduler: sim.EdgeOrder{MaxDegree: n},
+			Scheduler: &sim.EdgeOrder{MaxDegree: n},
 			Crashes:   []sim.Crash{{Node: 0, At: crashAt}},
 			Audit:     true,
 		})

@@ -222,9 +222,9 @@ func TestTagGrowthModest(t *testing.T) {
 func TestEdgeOrderAdversary(t *testing.T) {
 	g := graph.Grid(3, 4)
 	inputs := mixedInputs(g.N())
-	res, audit := runOn(t, g, inputs, sim.EdgeOrder{MaxDegree: 4}, nil)
+	res, audit := runOn(t, g, inputs, &sim.EdgeOrder{MaxDegree: 4}, nil)
 	checkOK(t, "edgeorder", inputs, res, audit)
-	res, audit = runOn(t, g, inputs, sim.EdgeOrder{MaxDegree: 4, Descending: true}, nil)
+	res, audit = runOn(t, g, inputs, &sim.EdgeOrder{MaxDegree: 4, Descending: true}, nil)
 	checkOK(t, "edgeorder-desc", inputs, res, audit)
 }
 

@@ -116,7 +116,7 @@ func E12Randomization() *Experiment {
 				Graph:     graph.Clique(tc.n),
 				Inputs:    inputs,
 				Factory:   twophase.Factory,
-				Scheduler: sim.EdgeOrder{MaxDegree: tc.n},
+				Scheduler: &sim.EdgeOrder{MaxDegree: tc.n},
 				Crashes:   crashes,
 			})
 			repTP := consensus.Check(inputs, resTP)
@@ -131,7 +131,7 @@ func E12Randomization() *Experiment {
 				Graph:           graph.Clique(tc.n),
 				Inputs:          inputs,
 				Factory:         benor.NewFactory(benor.Config{N: tc.n, F: tc.f, Seed: seed}),
-				Scheduler:       sim.EdgeOrder{MaxDegree: tc.n},
+				Scheduler:       &sim.EdgeOrder{MaxDegree: tc.n},
 				Crashes:         crashes,
 				StopWhenDecided: true,
 				MaxEvents:       2_000_000,

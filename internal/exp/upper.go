@@ -315,7 +315,7 @@ func E10UnknownParticipants() *Experiment {
 	}{
 		{"random(F=6)", func(seed int64) sim.Scheduler { return sim.NewRandom(6, seed) }, 6},
 		{"maxdelay(F=6)", func(int64) sim.Scheduler { return sim.MaxDelay{F: 6} }, 6},
-		{"edgeorder", func(int64) sim.Scheduler { return sim.EdgeOrder{MaxDegree: 64} }, 65},
+		{"edgeorder", func(int64) sim.Scheduler { return &sim.EdgeOrder{MaxDegree: 64} }, 65},
 	}
 	for _, n := range []int{3, 9, 33, 64} {
 		for _, sc := range scheds {

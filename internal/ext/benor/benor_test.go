@@ -87,7 +87,7 @@ func TestCrashToleranceCircumventsThm32(t *testing.T) {
 func TestAdversarialSerialization(t *testing.T) {
 	n := 7
 	inputs := []amac.Value{0, 1, 0, 1, 0, 1, 0}
-	res := run(n, inputs, Config{N: n, F: 3, Seed: 3}, sim.EdgeOrder{MaxDegree: n}, nil)
+	res := run(n, inputs, Config{N: n, F: 3, Seed: 3}, &sim.EdgeOrder{MaxDegree: n}, nil)
 	rep := consensus.Check(inputs, res)
 	if !rep.OK() {
 		t.Fatalf("%v", rep.Errors)

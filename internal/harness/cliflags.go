@@ -3,6 +3,9 @@ package harness
 import (
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 )
@@ -135,4 +138,66 @@ func NameSet(names ...[]string) map[string]bool {
 		}
 	}
 	return set
+}
+
+// ProfileFlags holds the -cpuprofile/-memprofile flags shared by the
+// bench-facing CLIs (cmd/benchsuite, and cmd/amacsim's sweep mode): a
+// wall-clock hunt should start from a profile, not a guess. Register with
+// RegisterProfileFlags; call Start after flag parsing and defer the
+// returned stop function.
+type ProfileFlags struct {
+	CPU *string
+	Mem *string
+
+	names []string
+}
+
+// RegisterProfileFlags registers the profiling flags on fs.
+func RegisterProfileFlags(fs *flag.FlagSet) *ProfileFlags {
+	p := &ProfileFlags{}
+	p.CPU = fs.String("cpuprofile", "", "write a CPU profile to this file")
+	p.Mem = fs.String("memprofile", "", "write a heap profile to this file on exit")
+	p.names = []string{"cpuprofile", "memprofile"}
+	return p
+}
+
+// Names returns the registered flag names, for per-mode stray-flag guards.
+func (p *ProfileFlags) Names() []string {
+	return append([]string(nil), p.names...)
+}
+
+// Start begins CPU profiling if requested and returns the stop function,
+// which finishes the CPU profile and writes the heap profile. The stop
+// function must run before the process exits (defer it in main, and call
+// it explicitly before any os.Exit path).
+func (p *ProfileFlags) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if *p.CPU != "" {
+		cpuFile, err = os.Create(*p.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if *p.Mem != "" {
+			f, err := os.Create(*p.Mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recent frees so the heap profile is settled
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+			}
+		}
+	}, nil
 }

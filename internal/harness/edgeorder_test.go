@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"testing"
+
+	"github.com/absmac/absmac/internal/sim"
+)
+
+// edgeOrderTopos picks one representative topology per registered family,
+// sized so degrees straddle the sort threshold (clique:40 and expander's
+// regular degree exercise the sorted path even at its default cutoff).
+var edgeOrderTopos = map[string]string{
+	"clique":    "clique:40",
+	"expander":  "expander:64:8",
+	"grid":      "grid:6x7",
+	"line":      "line:12",
+	"pods":      "pods:4:12:3",
+	"random":    "random:24:0.3",
+	"ring":      "ring:12",
+	"star":      "star:16",
+	"starlines": "starlines:3x4",
+	"tree":      "tree:3x3",
+}
+
+// TestEdgeOrderSortMatchesQuadratic pins EdgeOrder's scratch-sort path to
+// the quadratic rank count: for every registered topology family, every
+// node's plan must be byte-identical between a scheduler forced onto the
+// sorted path (SortThreshold 1) and one forced onto the quadratic path
+// (SortThreshold -1), in both serialization directions.
+func TestEdgeOrderSortMatchesQuadratic(t *testing.T) {
+	for _, fam := range Topologies() {
+		spec, ok := edgeOrderTopos[fam]
+		if !ok {
+			t.Fatalf("no EdgeOrder identity topology registered for family %q — add one to edgeOrderTopos", fam)
+		}
+		topo, err := ParseTopo(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		g, err := topo.Build(7)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		maxDeg := 0
+		for u := 0; u < g.N(); u++ {
+			if d := g.Degree(u); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		for _, descending := range []bool{false, true} {
+			sorted := &sim.EdgeOrder{MaxDegree: maxDeg, Descending: descending, SortThreshold: 1}
+			quad := &sim.EdgeOrder{MaxDegree: maxDeg, Descending: descending, SortThreshold: -1}
+			for u := 0; u < g.N(); u++ {
+				nbrs := g.Neighbors(u)
+				b := sim.Broadcast{Sender: u, Neighbors: nbrs, Now: int64(u % 3)}
+				ps := sim.Plan{Recv: make([]int64, len(nbrs))}
+				pq := sim.Plan{Recv: make([]int64, len(nbrs))}
+				for i := range ps.Recv {
+					ps.Recv[i] = sim.NoDelivery
+					pq.Recv[i] = sim.NoDelivery
+				}
+				sorted.Plan(b, &ps)
+				quad.Plan(b, &pq)
+				if ps.Ack != pq.Ack {
+					t.Fatalf("%s desc=%v node %d: ack %d (sorted) != %d (quadratic)", spec, descending, u, ps.Ack, pq.Ack)
+				}
+				for i := range ps.Recv {
+					if ps.Recv[i] != pq.Recv[i] {
+						t.Fatalf("%s desc=%v node %d slot %d: %d (sorted) != %d (quadratic)",
+							spec, descending, u, i, ps.Recv[i], pq.Recv[i])
+					}
+				}
+			}
+		}
+	}
+}

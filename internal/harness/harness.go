@@ -219,7 +219,7 @@ var schedulers = map[string]schedCtor{
 				maxDeg = d
 			}
 		}
-		return sim.EdgeOrder{MaxDegree: maxDeg}
+		return &sim.EdgeOrder{MaxDegree: maxDeg}
 	},
 }
 

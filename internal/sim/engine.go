@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/absmac/absmac/internal/amac"
 	"github.com/absmac/absmac/internal/metrics"
@@ -45,11 +46,24 @@ type Engine struct {
 	now    int64
 	res    *Result
 	maxEvt int
-	// plan is the reusable delivery-plan buffer handed to the scheduler,
-	// and free the event freelist: together they keep the broadcast hot
-	// path allocation-free in the steady state.
+	// plan is the reusable delivery-plan buffer handed to the scheduler.
+	// Invariant between broadcasts: every slot in [0, cap) holds
+	// NoDelivery — the push loops restore exactly the slots the scheduler
+	// filled as they read them, so a broadcast never pays a pre-zero pass
+	// over slots nobody wrote (the queue's slab plays the same role for
+	// events; together they keep the hot path allocation-free).
 	plan Plan
-	free []*event
+
+	// O(1) StopWhenDecided bookkeeping: undecided counts nodes that have
+	// neither decided nor passed their crash cutoff. pendCrash holds the
+	// scheduled cutoffs sorted by time; pendIdx is the clock cursor into
+	// it — as now advances past a cutoff, its node stops owing a decision.
+	undecided int
+	pendCrash []Crash
+	pendIdx   int
+	// checkStops, set by tests, asserts the counter against the O(n)
+	// reference scan at every stop evaluation.
+	checkStops bool
 
 	// Hot-path metric handles, re-registered at every Reset. With
 	// Config.Metrics nil these are zero handles and every mutation is one
@@ -105,8 +119,10 @@ func (e *Engine) Reset(cfg Config) {
 		panic(err.Error())
 	}
 	// A run stopped by StopWhenDecided or MaxEvents leaves events queued;
-	// recycle them so the freelist, not the allocator, feeds the next run.
-	e.q.drain(e.release)
+	// recycle them so the slab, not the allocator, feeds the next run —
+	// then re-arm the calendar ring for the new scheduler's horizon.
+	e.q.drain()
+	e.q.init(cfg.Scheduler.Fack(), cfg.QueueWindow)
 	e.cfg = cfg
 	e.nexts = 0
 	e.now = 0
@@ -201,6 +217,33 @@ func (e *Engine) Reset(cfg Config) {
 			e.crashAt[c.Node] = c.At
 		}
 	}
+
+	// Arm the O(1) StopWhenDecided counter: every node owes a decision
+	// until it decides or the clock passes its crash cutoff. The cutoffs
+	// are replayed in time order by a cursor in the run loop.
+	e.undecided = n
+	e.pendCrash = e.pendCrash[:0]
+	for i, at := range e.crashAt {
+		if at >= 0 {
+			e.pendCrash = append(e.pendCrash, Crash{Node: i, At: at})
+		}
+	}
+	sort.Slice(e.pendCrash, func(i, j int) bool {
+		a, b := e.pendCrash[i], e.pendCrash[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		return a.Node < b.Node
+	})
+	e.pendIdx = 0
+
+	// Re-assert the plan-buffer invariant (all slots NoDelivery): the push
+	// loops maintain it run to run, but a run aborted mid-broadcast — a
+	// recovered scheduler-contract panic — may have left written slots.
+	e.plan.Recv = e.plan.Recv[:cap(e.plan.Recv)]
+	for i := range e.plan.Recv {
+		e.plan.Recv[i] = NoDelivery
+	}
 }
 
 func (e *Engine) observe(ev Event) {
@@ -219,31 +262,17 @@ func (e *Engine) crashedBy(i int, t int64) bool {
 	return at >= 0 && at < t
 }
 
-// alloc takes an event from the freelist, or the allocator when the
-// freelist is dry. release returns a processed event (the message reference
-// is cleared so pooled events do not retain algorithm payloads).
-func (e *Engine) alloc() *event {
-	if n := len(e.free); n > 0 {
-		ev := e.free[n-1]
-		e.free = e.free[:n-1]
-		e.mFreeHits.Inc()
-		return ev
-	}
-	e.mFreeMiss.Inc()
-	return &event{}
-}
-
-func (e *Engine) release(ev *event) {
-	ev.msg = nil
-	e.free = append(e.free, ev)
-}
-
+// push enqueues one event, stamping its insertion sequence. The queue's
+// slab recycles slots; a free-chain hit or a slab growth is surfaced on
+// the freelist metrics (growth amortizes to one allocation per doubling).
 func (e *Engine) push(ev event) {
-	p := e.alloc()
-	*p = ev
-	p.seq = e.nexts
+	ev.seq = e.nexts
 	e.nexts++
-	e.q.push(p)
+	if e.q.push(ev) {
+		e.mFreeHits.Inc()
+	} else {
+		e.mFreeMiss.Inc()
+	}
 	e.mQueueHigh.Set(int64(e.q.len()))
 }
 
@@ -268,16 +297,18 @@ func (e *Engine) broadcast(u int, m amac.Message) bool {
 		b.Unreliable = e.cfg.Unreliable.Neighbors(u)
 	}
 
-	// Reset the reusable plan buffer: one slot per recipient, every slot
-	// starting at NoDelivery so schedulers only have to fill what they
-	// deliver.
+	// Size the reusable plan buffer: one slot per recipient. Every slot
+	// already holds NoDelivery — the buffer invariant — so schedulers only
+	// have to fill what they deliver and no per-broadcast zeroing pass
+	// runs; the push loops below restore the slots they consume.
 	need := len(nbrs) + len(b.Unreliable)
 	if cap(e.plan.Recv) < need {
 		e.plan.Recv = make([]int64, need)
-	}
-	e.plan.Recv = e.plan.Recv[:need]
-	for i := range e.plan.Recv {
-		e.plan.Recv[i] = NoDelivery
+		for i := range e.plan.Recv {
+			e.plan.Recv[i] = NoDelivery
+		}
+	} else {
+		e.plan.Recv = e.plan.Recv[:need]
 	}
 	e.plan.Ack = 0
 	e.cfg.Scheduler.Plan(b, &e.plan)
@@ -290,12 +321,19 @@ func (e *Engine) broadcast(u int, m amac.Message) bool {
 	e.observe(Event{Kind: EventBroadcast, Time: e.now, Node: u, Message: m})
 
 	// Push deliveries in deterministic (reliable-then-unreliable,
-	// index-ordered) order: queue ties break by insertion sequence.
+	// index-ordered) order: queue ties break by insertion sequence. Each
+	// consumed slot is restored to NoDelivery in the same pass — exactly
+	// the slots the scheduler wrote, re-establishing the buffer invariant
+	// without a separate sweep (reliable slots are always written;
+	// unreliable slots only when the scheduler delivered).
 	for i, v := range nbrs {
-		e.push(event{time: e.plan.Recv[i], kind: EventDeliver, node: v, peer: u, bseq: b.Seq, msg: m})
+		at := e.plan.Recv[i]
+		e.plan.Recv[i] = NoDelivery
+		e.push(event{time: at, kind: EventDeliver, node: v, peer: u, bseq: b.Seq, msg: m})
 	}
 	for i, v := range b.Unreliable {
 		if at := e.plan.Recv[len(nbrs)+i]; at != NoDelivery {
+			e.plan.Recv[len(nbrs)+i] = NoDelivery
 			e.push(event{time: at, kind: EventDeliver, node: v, peer: u, bseq: b.Seq, msg: m})
 		}
 	}
@@ -350,13 +388,37 @@ func (e *Engine) decide(u int, v amac.Value) {
 	e.res.Decided[u] = true
 	e.res.Decision[u] = v
 	e.res.DecideTime[u] = e.now
+	// The node stops owing a decision — unless the crash cursor already
+	// wrote it off (its cutoff is at or before now), in which case the
+	// counter must not move twice.
+	if at := e.crashAt[u]; at < 0 || at > e.now {
+		e.undecided--
+	}
 	if e.now > e.res.MaxDecideTime {
 		e.res.MaxDecideTime = e.now
 	}
 	e.observe(Event{Kind: EventDecide, Time: e.now, Node: u, Value: v})
 }
 
-func (e *Engine) allDecided() bool {
+// advanceCrashCursor replays scheduled crash cutoffs up to the current
+// clock: a node whose cutoff has passed no longer owes a decision. Run
+// calls it immediately after advancing now — before any callback can
+// decide at the same instant — so decide's "already written off" check
+// (crashAt <= now) agrees exactly with what the cursor has consumed.
+func (e *Engine) advanceCrashCursor() {
+	for e.pendIdx < len(e.pendCrash) && e.pendCrash[e.pendIdx].At <= e.now {
+		if !e.res.Decided[e.pendCrash[e.pendIdx].Node] {
+			e.undecided--
+		}
+		e.pendIdx++
+	}
+}
+
+// allDecidedScan is the O(n) reference for the undecided counter: every
+// node has decided or passed its crash cutoff. The run loop consults the
+// counter; tests set checkStops to assert the two agree at every stop
+// evaluation.
+func (e *Engine) allDecidedScan() bool {
 	for i, decided := range e.res.Decided {
 		if !decided && !(e.crashAt[i] >= 0 && e.crashAt[i] <= e.now) {
 			return false
@@ -371,6 +433,7 @@ func (e *Engine) allDecided() bool {
 func (e *Engine) Run() *Result {
 	// Start every node at time 0 in index order. A node scheduled to
 	// crash at time 0 never starts.
+	e.advanceCrashCursor()
 	for i := range e.algs {
 		if e.crashAt[i] == 0 {
 			e.markCrashed(i)
@@ -389,6 +452,7 @@ func (e *Engine) Run() *Result {
 			panic(fmt.Sprintf("sim: time went backwards: %d -> %d", e.now, ev.time))
 		}
 		e.now = ev.time
+		e.advanceCrashCursor()
 		e.res.Events++
 		e.mEvents.Inc()
 		e.res.Time = e.now
@@ -402,13 +466,11 @@ func (e *Engine) Run() *Result {
 			if e.crashedBy(ev.node, ev.time) {
 				e.markCrashed(ev.node)
 				e.mDrops.Inc()
-				e.release(ev)
 				continue
 			}
 			if e.crashedBy(ev.peer, ev.time) {
 				e.markCrashed(ev.peer)
 				e.mDrops.Inc()
-				e.release(ev)
 				continue
 			}
 			e.res.Deliveries++
@@ -419,7 +481,6 @@ func (e *Engine) Run() *Result {
 			if e.crashedBy(ev.node, ev.time) {
 				e.markCrashed(ev.node)
 				e.mDrops.Inc()
-				e.release(ev)
 				continue
 			}
 			u := ev.node
@@ -435,10 +496,15 @@ func (e *Engine) Run() *Result {
 		default:
 			panic(fmt.Sprintf("sim: unexpected queue event kind %v", ev.kind))
 		}
-		e.release(ev)
 
-		if e.cfg.StopWhenDecided && e.allDecided() {
-			break
+		if e.cfg.StopWhenDecided {
+			done := e.undecided == 0
+			if e.checkStops && done != e.allDecidedScan() {
+				panic(fmt.Sprintf("sim: undecided counter %d disagrees with reference scan at t=%d", e.undecided, e.now))
+			}
+			if done {
+				break
+			}
 		}
 	}
 

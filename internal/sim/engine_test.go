@@ -108,9 +108,9 @@ func TestEngineResetLeavesNoState(t *testing.T) {
 	if e.q.len() != 0 {
 		t.Errorf("%d events still queued after Reset", e.q.len())
 	}
-	for i, ev := range e.free {
-		if ev.msg != nil {
-			t.Errorf("freelist event %d retains message %v after Reset", i, ev.msg)
+	for i := range e.q.slab {
+		if e.q.slab[i].msg != nil {
+			t.Errorf("slab event %d retains message %v after Reset", i, e.q.slab[i].msg)
 		}
 	}
 	for i := range e.algs {
@@ -154,5 +154,50 @@ func TestEngineResetShrinksAndGrows(t *testing.T) {
 	}
 	if !reflect.DeepEqual(res, Run(freshResetConfig(t, 0))) {
 		t.Fatal("grow-after-shrink run differs from fresh engine")
+	}
+}
+
+// TestStopCounterMatchesScan pins the O(1) undecided counter that drives
+// StopWhenDecided against the O(n) reference scan: with checkStops set the
+// engine asserts agreement at every stop evaluation, so any interleaving
+// of decisions and crash cutoffs that would stop at a different event
+// panics. The crash schedules cover cutoffs before, at, and after the
+// decision, a node crashed at time 0, and a run where every node crashes
+// (the counter reaches zero through the cursor alone).
+func TestStopCounterMatchesScan(t *testing.T) {
+	ring := graph.Ring(6)
+	ins := inputs(0, 1, 0, 1, 0, 1)
+	schedules := [][]Crash{
+		nil,
+		{{Node: 5, At: 0}},
+		{{Node: 0, At: 1}, {Node: 3, At: 2}},
+		{{Node: 2, At: 4}, {Node: 2, At: 9}},
+		{{Node: 1, At: 40}}, // typically after node 1 decides
+		{{Node: 0, At: 1}, {Node: 1, At: 1}, {Node: 2, At: 1}, {Node: 3, At: 1}, {Node: 4, At: 1}, {Node: 5, At: 1}},
+	}
+	for ci, crashes := range schedules {
+		for seed := int64(1); seed <= 8; seed++ {
+			mk := func() Config {
+				return Config{
+					Graph:           ring,
+					Inputs:          ins,
+					Factory:         onceFactory,
+					Scheduler:       NewRandom(5, seed),
+					Crashes:         crashes,
+					StopWhenDecided: true,
+				}
+			}
+			e := NewEngine(mk())
+			e.checkStops = true // panic if counter and scan ever disagree
+			got := e.Run()
+			want := Run(mk())
+			if got.Events != want.Events || got.Time != want.Time {
+				t.Errorf("crashes[%d] seed %d: checked run stopped at event %d (t=%d), plain run at %d (t=%d)",
+					ci, seed, got.Events, got.Time, want.Events, want.Time)
+			}
+			if !reflect.DeepEqual(got.Decided, want.Decided) || !reflect.DeepEqual(got.Crashed, want.Crashed) {
+				t.Errorf("crashes[%d] seed %d: checked and plain runs disagree on outcomes", ci, seed)
+			}
+		}
 	}
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 )
 
 // This file implements the message schedulers used throughout the paper's
@@ -182,25 +183,50 @@ func (s SlowSubset) Plan(b Broadcast, p *Plan) {
 // fixed node-index order with unit gaps, acking last — an adversarial
 // serialization that stresses algorithms relying on delivery order. The
 // declared bound must cover the widest neighborhood: MaxDegree+1 slots.
+//
+// EdgeOrder is used by pointer so its sort scratch persists across
+// broadcasts; both paths produce byte-identical plans (the rank of a slot
+// under the quadratic count equals its position in a sort by the unique
+// (neighbor, slot) key), pinned by TestEdgeOrderSortMatchesQuadratic
+// across every registered family.
 type EdgeOrder struct {
 	// MaxDegree must be at least the maximum degree in the topology.
 	MaxDegree int
 	// Descending reverses the serialization order.
 	Descending bool
+	// SortThreshold is the degree at which planning switches from the
+	// O(d^2) rank count to an O(d log d) scratch sort: 0 picks the
+	// default, negative forces the quadratic path at every degree.
+	SortThreshold int
+
+	scratch []int32
 }
 
+// edgeOrderSortThreshold is the default degree at which sorting a scratch
+// permutation beats the quadratic rank count. Below it the d^2 inner loop
+// is a handful of compares over one cache line; above it d log d wins.
+const edgeOrderSortThreshold = 32
+
 // Fack implements Scheduler.
-func (s EdgeOrder) Fack() int64 { return int64(s.MaxDegree) + 1 }
+func (s *EdgeOrder) Fack() int64 { return int64(s.MaxDegree) + 1 }
 
 // Plan implements Scheduler.
-func (s EdgeOrder) Plan(b Broadcast, p *Plan) {
+func (s *EdgeOrder) Plan(b Broadcast, p *Plan) {
 	d := len(b.Neighbors)
 	if d > s.MaxDegree {
 		panic(fmt.Sprintf("sim: EdgeOrder.MaxDegree=%d below degree %d of node %d", s.MaxDegree, d, b.Sender))
 	}
+	threshold := s.SortThreshold
+	if threshold == 0 {
+		threshold = edgeOrderSortThreshold
+	}
+	if threshold > 0 && d >= threshold {
+		s.planSorted(b, p, d)
+		return
+	}
 	// Each neighbor's slot is its rank in the node-index serialization.
-	// Neighbor lists are short, so the O(d^2) rank count stays cheaper
-	// than sorting a scratch copy — and it allocates nothing.
+	// Short neighbor lists stay on the O(d^2) rank count: a handful of
+	// compares, no scratch traffic.
 	for i, v := range b.Neighbors {
 		rank := 0
 		for j, w := range b.Neighbors {
@@ -212,6 +238,38 @@ func (s EdgeOrder) Plan(b Broadcast, p *Plan) {
 			rank = d - 1 - rank
 		}
 		p.Recv[i] = b.Now + int64(rank) + 1
+	}
+	p.Ack = b.Now + int64(d) + 1
+}
+
+// planSorted computes the same ranks by sorting a reusable permutation of
+// slot indices by (neighbor, slot). The composite key is unique — duplicate
+// neighbor entries tie-break on slot — so an unstable sort is deterministic
+// and the resulting positions equal the quadratic path's rank counts.
+func (s *EdgeOrder) planSorted(b Broadcast, p *Plan, d int) {
+	if cap(s.scratch) < d {
+		s.scratch = make([]int32, d)
+	}
+	perm := s.scratch[:d]
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	slices.SortFunc(perm, func(x, y int32) int {
+		vx, vy := b.Neighbors[x], b.Neighbors[y]
+		if vx != vy {
+			if vx < vy {
+				return -1
+			}
+			return 1
+		}
+		return int(x) - int(y)
+	})
+	for rank, i := range perm {
+		if s.Descending {
+			p.Recv[i] = b.Now + int64(d-1-rank) + 1
+		} else {
+			p.Recv[i] = b.Now + int64(rank) + 1
+		}
 	}
 	p.Ack = b.Now + int64(d) + 1
 }
@@ -269,6 +327,6 @@ var (
 	_ Scheduler = (*Random)(nil)
 	_ Scheduler = Gate{}
 	_ Scheduler = SlowSubset{}
-	_ Scheduler = EdgeOrder{}
+	_ Scheduler = (*EdgeOrder)(nil)
 	_ Scheduler = (*Lossy)(nil)
 )

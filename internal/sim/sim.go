@@ -5,9 +5,10 @@
 // simulator delegates every timing decision to a pluggable Scheduler: at
 // each broadcast the scheduler fills a delivery plan (a receive time per
 // neighbor plus an acknowledgment time) into an engine-owned reusable
-// buffer, and the engine executes plans on a concrete quaternary min-heap
-// of pooled events (see eventQueue) — the steady-state broadcast path
-// allocates nothing and dispatches no interface methods. Engines are
+// buffer, and the engine executes plans on a bounded-horizon calendar
+// queue of slab-pooled events (see eventQueue) — push and pop are O(1) on
+// the hot path, and the steady-state broadcast path allocates nothing and
+// dispatches no interface methods. Engines are
 // reusable: NewEngine/Reset re-arm one engine for configuration after
 // configuration, keeping node state, Result slices, the plan buffer and
 // the event freelist, which is how sweep workers amortize per-run setup
@@ -137,6 +138,15 @@ type Config struct {
 	// observer that retains events must extract what it needs rather than
 	// hold the Message reference (trace.Recorder formats only the type).
 	Observer func(Event)
+	// QueueWindow tunes the engine's calendar event queue (see queue.go):
+	// 0 sizes the bucket ring to the scheduler's declared Fack (capped at
+	// a default), a positive value caps the ring's time span lower — more
+	// events take the overflow heap — and a negative value disables the
+	// ring entirely, so every event flows through the reference quaternary
+	// heap. Every setting produces byte-identical executions (pinned by
+	// the harness differential queue test); this is a performance and
+	// test knob, never a semantic one.
+	QueueWindow int64
 	// Metrics, when non-nil, receives the engine's hot-path counters
 	// (events processed, deliveries, crash drops, freelist hit rate,
 	// queue-depth high-water) and is handed to every node's factory via
@@ -336,7 +346,9 @@ func (r *Result) DecidedValues() []amac.Value {
 }
 
 // event is a queue entry. seq breaks time ties deterministically in
-// insertion order (see eventQueue in queue.go for the full order).
+// insertion order (see eventQueue in queue.go for the full order). Events
+// live in the queue's value slab; next is the intrusive link threading
+// both the per-bucket FIFO chains and the free chain.
 type event struct {
 	time int64
 	seq  int64
@@ -345,6 +357,7 @@ type event struct {
 	peer int // sender for deliver
 	bseq int // sender's broadcast sequence the event belongs to
 	msg  amac.Message
+	next int32 // slab index of the chain successor (nilEvent terminates)
 }
 
 // Run executes the configuration to completion and returns the result. It

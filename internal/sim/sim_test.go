@@ -168,7 +168,7 @@ func TestMidBroadcastCrash(t *testing.T) {
 		Graph:     graph.Star(4),
 		Inputs:    inputs(0, 0, 0, 0),
 		Factory:   factory,
-		Scheduler: EdgeOrder{MaxDegree: 3},
+		Scheduler: &EdgeOrder{MaxDegree: 3},
 		Crashes:   []Crash{{Node: 0, At: 2}},
 	})
 	if !res.Crashed[0] {
@@ -379,7 +379,7 @@ func TestEdgeOrderSerialization(t *testing.T) {
 		Graph:     graph.Star(4),
 		Inputs:    inputs(0, 0, 0, 0),
 		Factory:   onceFactory,
-		Scheduler: EdgeOrder{MaxDegree: 3},
+		Scheduler: &EdgeOrder{MaxDegree: 3},
 		Observer: func(ev Event) {
 			if ev.Kind == EventDeliver && ev.Peer == 0 {
 				recvTimes[ev.Node] = ev.Time
